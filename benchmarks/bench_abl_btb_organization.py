@@ -1,0 +1,36 @@
+"""Ablation: monolithic 8K BTB vs the related-work two-level organization.
+
+Expected shape: the 2-level design's L1-BTB misses cause extra first-touch
+resteers, but its L2 backing keeps the steady-state hit rate near the
+monolithic design — the capacity/latency trade-off the BTB-research line
+(Kobayashi, PDede) navigates.
+"""
+
+from common import instructions, run_once, workloads
+
+from repro.sim.presets import baseline_config, two_level_btb_config
+from repro.sim.runner import run_workload
+
+WORKLOADS = ["gcc", "mysql", "verilator"]
+
+
+def test_ablation_btb_organization(benchmark):
+    def run():
+        rows = []
+        for name in workloads(WORKLOADS):
+            n = instructions()
+            mono = run_workload(name, baseline_config(n), "mono-btb")
+            two = run_workload(name, two_level_btb_config(n), "two-level-btb")
+            rows.append((name, mono, two))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'workload':10s} {'mono IPC':>9s} {'2lvl IPC':>9s} "
+          f"{'mono rst/ki':>12s} {'2lvl rst/ki':>12s}")
+    for name, mono, two in rows:
+        print(f"{name:10s} {mono.ipc:9.3f} {two.ipc:9.3f} "
+              f"{mono.resteers_per_kilo_instruction:12.1f} "
+              f"{two.resteers_per_kilo_instruction:12.1f}")
+        # The hierarchical design pays extra resteers, never fewer.
+        assert two["resteer_btb_miss"] >= mono["resteer_btb_miss"] * 0.8

@@ -1,0 +1,26 @@
+"""Fig 1: IPC speedup of a perfect icache over the FDIP baseline.
+
+Regenerates the paper's motivation figure: for every workload, the headroom
+a perfect L1I leaves over state-of-the-art FDIP.  Expected shape: the big
+unpredictable/huge-footprint workloads (xgboost, verilator, gcc) show the
+largest headroom; small-footprint mediawiki/postgres the least.
+"""
+
+from common import instructions, run_once, workloads
+
+from repro.analysis import fig1_perfect_icache
+from repro.analysis.experiments import ALL_WORKLOADS
+
+
+def test_fig1_perfect_icache(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig1_perfect_icache(workloads(ALL_WORKLOADS), instructions()),
+    )
+    print()
+    print(result["table"])
+    print(f"summary: {result['summary']}")
+    # Every workload must leave headroom (perfect >= baseline, modulo noise).
+    assert all(ratio > 0.9 for ratio in result["ratios"].values())
+    # The paper's motivation: meaningful headroom exists somewhere.
+    assert result["summary"]["max_pct"] > 5.0

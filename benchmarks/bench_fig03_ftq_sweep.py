@@ -1,0 +1,22 @@
+"""Fig 3: IPC speedup vs FTQ depth (the optimal-runahead analysis).
+
+Expected shape: per-application optima differ widely — verilator keeps
+gaining from deep FTQs while small-footprint databases plateau early.
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import fig3_ftq_sweep
+
+
+def test_fig3_ftq_sweep(benchmark):
+    result = run_once(benchmark, lambda: fig3_ftq_sweep(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    print(f"optimal depths: {result['optimal_depth']}")
+    optima = result["optimal_depth"]
+    # The paper's headline observation: optima are application-specific.
+    assert len(set(optima.values())) > 1, "all workloads share one optimum"
+    # verilator wants a deep FTQ (paper: 84).
+    if "verilator" in optima:
+        assert optima["verilator"] >= 48

@@ -1,0 +1,21 @@
+"""Fig 4: prefetch timeliness ratio vs FTQ depth.
+
+Expected shape: timeliness improves with depth, and the huge-footprint
+workloads (verilator, xgboost) need substantially deeper FTQs to reach the
+timeliness the databases get with shallow queues.
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import fig4_timeliness
+
+
+def test_fig4_timeliness(benchmark):
+    result = run_once(benchmark, lambda: fig4_timeliness(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    series = result["timeliness"]
+    # Deeper FTQs must not make timeliness dramatically worse anywhere, and
+    # should improve it for at least one workload.
+    improved = sum(1 for vals in series.values() if vals[-1] > vals[0])
+    assert improved >= 1

@@ -1,0 +1,22 @@
+"""Fig 5: fraction of prefetches emitted on the correct path vs FTQ depth.
+
+Expected shape: the on-path fraction *decreases* monotonically-ish with FTQ
+depth for every workload (deeper runahead = more time spent beyond
+unresolved mispredictions), with xgboost the most off-path-dominated.
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import fig5_on_path_ratio
+
+
+def test_fig5_onpath_ratio(benchmark):
+    result = run_once(benchmark, lambda: fig5_on_path_ratio(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    series = result["on_path_ratio"]
+    # The paper's observation: off-path share grows with FTQ depth.
+    declining = sum(1 for vals in series.values() if vals[-1] <= vals[0] + 0.02)
+    assert declining >= max(1, len(series) - 1)
+    if "xgboost" in series:
+        assert series["xgboost"][-1] < 0.3, "xgboost should be off-path dominated"

@@ -1,0 +1,22 @@
+"""Fig 6: prefetch usefulness (utility ratio) vs FTQ depth.
+
+Expected shape: utility declines as the FTQ deepens (more speculative
+prefetches), and the workloads split into the paper's three categories —
+verilator's off-path prefetches stay useful, xgboost's become harmful.
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import fig6_usefulness
+
+
+def test_fig6_usefulness(benchmark):
+    result = run_once(benchmark, lambda: fig6_usefulness(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    series = result["utility"]
+    declining = sum(1 for vals in series.values() if vals[-1] <= vals[0] + 0.02)
+    assert declining >= max(1, len(series) - 1)
+    if "xgboost" in series and "verilator" in series:
+        # Category 1 (very useful off-path) vs category 3 (harmful).
+        assert series["verilator"][-1] > series["xgboost"][-1]

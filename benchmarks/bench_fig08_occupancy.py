@@ -1,0 +1,25 @@
+"""Fig 8: average FTQ occupancy vs FTQ depth (resteers as natural throttle).
+
+Expected shape: workloads that run far ahead (gcc/clang/verilator) track the
+configured depth (slope ~1); frequently-resteered workloads plateau because
+flushes drain the queue before it can fill.
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import fig8_occupancy
+
+
+def test_fig8_occupancy(benchmark):
+    result = run_once(benchmark, lambda: fig8_occupancy(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    depths = result["depths"]
+    series = result["occupancy"]
+    for name, vals in series.items():
+        # Occupancy can never exceed the configured depth.
+        for depth, occ in zip(depths, vals):
+            assert occ <= depth + 1e-6, f"{name}: occupancy {occ} > depth {depth}"
+    # Occupancy grows with depth for at least the run-ahead-friendly apps.
+    growing = sum(1 for vals in series.values() if vals[-1] > vals[0])
+    assert growing >= 1

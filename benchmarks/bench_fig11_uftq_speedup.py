@@ -1,0 +1,23 @@
+"""Fig 11: UFTQ-AUR / UFTQ-ATR / UFTQ-ATR-AUR / OPT IPC speedups.
+
+Expected shape: the combined ATR-AUR controller tracks OPT more closely
+than either single-signal controller, which exhibit the paper's failure
+modes (AUR starves run-ahead-friendly workloads; ATR overextends
+pollution-sensitive ones).
+"""
+
+from common import get_fig11, run_once
+
+
+def test_fig11_uftq_speedup(benchmark):
+    result = run_once(benchmark, get_fig11)
+    print()
+    print(result["table"])
+    print(f"geomeans: {result['geomeans']}")
+    geomeans = result["geomeans"]
+    # OPT is an oracle: it must not lose to the baseline on average.
+    assert geomeans["opt"] >= -1.0
+    # The combined controller should not be the worst of the three.
+    assert geomeans["uftq-atr-aur"] >= min(
+        geomeans["uftq-aur"], geomeans["uftq-atr"]
+    ) - 0.5

@@ -1,0 +1,18 @@
+"""Fig 12: icache MPKI of the UFTQ variants (derived from the Fig 11 runs).
+
+Expected shape: UFTQ-ATR-AUR's MPKI stays close to OPT's; single-signal
+variants can inflate misses when they size the FTQ wrongly.
+"""
+
+from common import get_fig11, run_once
+
+from repro.analysis import fig12_uftq_mpki
+
+
+def test_fig12_uftq_mpki(benchmark):
+    result = run_once(benchmark, lambda: fig12_uftq_mpki(get_fig11()))
+    print()
+    print(result["table"])
+    for name, per_config in result["mpki"].items():
+        for config_name, mpki in per_config.items():
+            assert mpki >= 0.0, f"{name}/{config_name}: negative MPKI"

@@ -1,0 +1,18 @@
+"""Fig 14: icache MPKI of UDP and its comparators (from the Fig 13 runs).
+
+Expected shape: MPKI barely differs between techniques — UDP's speedup
+comes from *timeliness*, not from removing misses (the paper's point).
+"""
+
+from common import get_fig13, run_once
+
+from repro.analysis import fig14_udp_mpki
+
+
+def test_fig14_udp_mpki(benchmark):
+    result = run_once(benchmark, lambda: fig14_udp_mpki(get_fig13()))
+    print()
+    print(result["table"])
+    for name, per_config in result["mpki"].items():
+        for config_name, mpki in per_config.items():
+            assert mpki >= 0.0, f"{name}/{config_name}: negative MPKI"

@@ -1,0 +1,18 @@
+"""Fig 15: instruction slots lost to icache stalls (from the Fig 13 runs).
+
+Expected shape: UDP reduces lost slots versus the baseline on the workloads
+where it wins, even where MPKI is unchanged — the timeliness effect.
+"""
+
+from common import get_fig13, run_once
+
+from repro.analysis import fig15_lost_instructions
+
+
+def test_fig15_lost_instructions(benchmark):
+    result = run_once(benchmark, lambda: fig15_lost_instructions(get_fig13()))
+    print()
+    print(result["table"])
+    for name, per_config in result["lost_per_kinstr"].items():
+        for config_name, lost in per_config.items():
+            assert lost >= 0.0, f"{name}/{config_name}: negative lost-slot count"

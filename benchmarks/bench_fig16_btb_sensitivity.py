@@ -1,0 +1,29 @@
+"""Fig 16: UDP IPC speedup across BTB capacities.
+
+Expected shape: UDP helps at every BTB size and helps *more* when the BTB
+is small (more undetected branches → more off-path episodes to gate).
+"""
+
+from common import SENSITIVITY_WORKLOADS, instructions, run_once, workloads
+
+from repro.analysis import fig16_btb_sensitivity
+from repro.sim.metrics import geomean
+
+
+def test_fig16_btb_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig16_btb_sensitivity(
+            workloads(SENSITIVITY_WORKLOADS),
+            btb_sizes=[2048, 4096, 8192, 16384],
+            instructions=instructions(),
+        ),
+    )
+    print()
+    print(result["table"])
+    series = result["speedup_pct"]
+    per_size = [
+        geomean([1 + series[w][i] / 100 for w in series])
+        for i in range(len(result["btb_sizes"]))
+    ]
+    print("geomean speedup by BTB size:", [f"{(g-1)*100:+.1f}%" for g in per_size])

@@ -1,0 +1,24 @@
+"""Fig 17: UDP IPC speedup across base FTQ depths.
+
+Expected shape: UDP composes with any FTQ size; deeper FTQs give the
+confidence gate more off-path candidates to filter.
+"""
+
+from common import SENSITIVITY_WORKLOADS, instructions, run_once, workloads
+
+from repro.analysis import fig17_ftq_sensitivity
+
+
+def test_fig17_ftq_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig17_ftq_sensitivity(
+            workloads(SENSITIVITY_WORKLOADS),
+            depths=[16, 32, 48, 64],
+            instructions=instructions(),
+        ),
+    )
+    print()
+    print(result["table"])
+    for name, vals in result["speedup_pct"].items():
+        assert all(v > -50.0 for v in vals), f"{name}: UDP catastrophically slow"

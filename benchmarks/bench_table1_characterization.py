@@ -1,0 +1,29 @@
+"""Table I equivalent: measured characteristics of the synthetic suite.
+
+The paper's Table I describes its applications; the reproduction's version
+*measures* that each synthetic workload exhibits the characteristics the
+mechanisms depend on (footprint ≫ L1I, per-app branch predictability, BTB
+pressure, resteer frequency) and validates the qualitative orderings.
+"""
+
+from common import instructions, run_once, workloads
+
+from repro.analysis.characterize import (
+    characterization_table,
+    characterize_suite,
+    validate_characteristics,
+)
+from repro.analysis.experiments import ALL_WORKLOADS
+
+
+def test_table1_characterization(benchmark):
+    characters = run_once(
+        benchmark,
+        lambda: characterize_suite(
+            workloads(ALL_WORKLOADS), instructions=instructions()
+        ),
+    )
+    print()
+    print(characterization_table(characters))
+    problems = validate_characteristics(characters)
+    assert problems == [], problems

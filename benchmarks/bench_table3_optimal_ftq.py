@@ -1,0 +1,23 @@
+"""Table III: per-application optimal FTQ depth, utility, and timeliness.
+
+Also reports the correlation coefficients between the measured ratios and
+the optimal depths (the paper finds utility correlates at 0.63, timeliness
+at 0.21 — the justification for UFTQ's measurement-driven sizing).
+"""
+
+from common import get_ftq_sweep, run_once
+
+from repro.analysis import table3_optimal_ftq
+
+
+def test_table3_optimal_ftq(benchmark):
+    result = run_once(benchmark, lambda: table3_optimal_ftq(get_ftq_sweep()))
+    print()
+    print(result["table"])
+    print(f"correlations: {result['correlations']}")
+    optima = result["optima"]
+    assert optima, "no workloads swept"
+    for name, (depth, utility, timeliness) in optima.items():
+        assert 0 < depth <= 128
+        assert 0.0 <= utility <= 1.0
+        assert 0.0 <= timeliness <= 1.0

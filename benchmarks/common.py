@@ -1,0 +1,94 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — float multiplier on per-run instruction counts
+  (default 1.0; e.g. ``REPRO_BENCH_SCALE=4`` runs 4x longer simulations).
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated workload subset override
+  (default: a per-benchmark choice documented in each file).
+
+Expensive computations that several figures share (the FTQ sweep behind
+Figs 3-6/8/Table III; the Fig 11 and Fig 13 run sets) are cached per
+pytest session in :data:`_CACHE`, so the derived benchmarks only time their
+own derivation step.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import experiments
+
+_CACHE: dict[str, object] = {}
+
+# Representative subset used by the sweep-heavy figures: the paper's two
+# pathological extremes plus a compiler, a database, and a JVM workload.
+SWEEP_WORKLOADS = ["mysql", "gcc", "verilator", "mongodb", "xgboost"]
+SENSITIVITY_WORKLOADS = ["mysql", "gcc", "verilator", "xgboost"]
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def instructions(base: int = 20_000) -> int:
+    return max(2_000, int(base * scale()))
+
+
+def workloads(default: list[str]) -> list[str]:
+    override = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if override.strip():
+        return [w.strip() for w in override.split(",") if w.strip()]
+    return list(default)
+
+
+def cached(key: str, compute):
+    """Session-cached shared computation."""
+    if key not in _CACHE:
+        _CACHE[key] = compute()
+    return _CACHE[key]
+
+
+def get_ftq_sweep():
+    """The shared FTQ-depth sweep (Figs 3-6, 8, Table III)."""
+    return cached(
+        "ftq_sweep",
+        lambda: experiments.ftq_sweep_suite(
+            workloads(SWEEP_WORKLOADS),
+            depths=[8, 16, 32, 48, 64, 96],
+            instructions=instructions(),
+        ),
+    )
+
+
+def get_fig11():
+    """The shared UFTQ run set (Figs 11-12)."""
+    def compute():
+        sweep = get_ftq_sweep()
+        optima = {
+            name: max(results, key=lambda d: results[d].ipc)
+            for name, results in sweep.items()
+        }
+        return experiments.fig11_uftq_speedup(
+            workloads(SWEEP_WORKLOADS),
+            instructions=instructions(),
+            opt_depths=optima,
+        )
+
+    return cached("fig11", compute)
+
+
+def get_fig13():
+    """The shared UDP run set (Figs 13-15)."""
+    return cached(
+        "fig13",
+        lambda: experiments.fig13_udp_speedup(
+            workloads(experiments.ALL_WORKLOADS), instructions=instructions()
+        ),
+    )
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are deterministic; repetition
+    only burns wall-clock)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

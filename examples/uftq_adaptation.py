@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Watch UFTQ adapt the FTQ depth at runtime (Section IV-A).
+
+Runs the three UFTQ controllers on two workloads with opposite optimal
+depths (verilator wants deep, mysql is content shallow) and reports the
+final adapted depth, the controller's phase trajectory, and IPC versus the
+fixed-32 baseline and the exhaustive-search OPT.
+"""
+
+from repro import (
+    baseline_config,
+    optimal_ftq_depth,
+    run_workload,
+    uftq_config,
+)
+
+WORKLOADS = ["verilator", "mysql"]
+INSTRUCTIONS = 20_000
+SWEEP_DEPTHS = [8, 16, 32, 48, 64, 96]
+
+
+def main() -> None:
+    for workload in WORKLOADS:
+        base = run_workload(workload, baseline_config(INSTRUCTIONS), "baseline")
+        best_depth, sweep = optimal_ftq_depth(
+            workload, baseline_config(INSTRUCTIONS), SWEEP_DEPTHS
+        )
+        opt = sweep[best_depth]
+        print(f"\n=== {workload} ===")
+        print(f"baseline (FTQ=32): IPC {base.ipc:.3f}")
+        print(f"OPT (FTQ={best_depth}):     IPC {opt.ipc:.3f} "
+              f"({(opt.ipc / base.ipc - 1) * 100:+.1f}%)")
+        for mode in ("aur", "atr", "atr-aur"):
+            result = run_workload(
+                workload, uftq_config(mode, INSTRUCTIONS), f"uftq-{mode}"
+            )
+            print(
+                f"UFTQ-{mode.upper():8s} IPC {result.ipc:.3f} "
+                f"({(result.ipc / base.ipc - 1) * 100:+.1f}%), "
+                f"final depth {result.final_ftq_depth}, "
+                f"adjustments {result['uftq_adjustments']}"
+            )
+
+
+if __name__ == "__main__":
+    main()

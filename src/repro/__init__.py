@@ -1,0 +1,76 @@
+"""repro — reproduction of "UDP: Utility-Driven Fetch Directed Instruction
+Prefetching" (ISCA 2024).
+
+Public API tour::
+
+    from repro import baseline_config, udp_config, run_workload, SUITE
+
+    base = run_workload("xgboost", baseline_config(max_instructions=20_000))
+    udp = run_workload("xgboost", udp_config(max_instructions=20_000))
+    print(udp.ipc / base.ipc)   # UDP's IPC speedup over fixed-FTQ FDIP
+
+Layers (bottom-up):
+
+* :mod:`repro.workloads` — synthetic datacenter programs + ground-truth oracle
+* :mod:`repro.branch` — TAGE / BTB / iBTB / RAS substrate
+* :mod:`repro.memory` — caches, MSHRs, uncore, stream data prefetcher
+* :mod:`repro.frontend` — FTQ, decoupled walker (wrong-path capable), FDIP
+* :mod:`repro.backend` — simplified OoO window with branch-resolution timing
+* :mod:`repro.core` — the paper's contributions: UDP and UFTQ
+* :mod:`repro.prefetchers` — stand-alone comparators (EIP, next-line)
+* :mod:`repro.sim` — the cycle loop, presets, run drivers, metrics
+* :mod:`repro.analysis` — one experiment function per paper figure/table
+"""
+
+from repro.common.config import SimConfig, UDPConfig, UFTQConfig
+from repro.sim.metrics import SimResult, geomean, speedup
+from repro.sim.presets import (
+    baseline_config,
+    bigger_icache_config,
+    eip_config,
+    infinite_storage_config,
+    opt_config,
+    perfect_icache_config,
+    udp_config,
+    uftq_config,
+)
+from repro.sim.runner import (
+    optimal_ftq_depth,
+    run_program,
+    run_suite,
+    run_workload,
+    sweep_ftq_depths,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import PAPER_TABLE3, SUITE, get_profile
+from repro.workloads.synth import synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "UDPConfig",
+    "UFTQConfig",
+    "SimResult",
+    "geomean",
+    "speedup",
+    "baseline_config",
+    "bigger_icache_config",
+    "eip_config",
+    "infinite_storage_config",
+    "opt_config",
+    "perfect_icache_config",
+    "udp_config",
+    "uftq_config",
+    "optimal_ftq_depth",
+    "run_program",
+    "run_suite",
+    "run_workload",
+    "sweep_ftq_depths",
+    "Simulator",
+    "PAPER_TABLE3",
+    "SUITE",
+    "get_profile",
+    "synthesize",
+    "__version__",
+]

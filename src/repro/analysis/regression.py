@@ -1,0 +1,73 @@
+"""Re-fitting the UFTQ-ATR-AUR polynomial regression (Section IV-A).
+
+The paper fits ``FTQ = f(QD_AUR, QD_ATR)`` by polynomial regression on 80%
+of its SimPoints; the published coefficients encode Scarab-specific
+magnitudes.  This module re-fits the same functional form
+
+    FTQ = a·QD_AUR + b·QD_ATR + c·QD_AUR² + d·QD_ATR² + e·QD_AUR·QD_ATR
+
+against *this* simulator's sweep data, so UFTQ-ATR-AUR can be configured
+with either the paper's coefficients (the default,
+:data:`repro.core.uftq.PAPER_REGRESSION`) or a local fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.metrics import SimResult
+
+
+def training_rows(
+    sweep: dict[str, dict[int, SimResult]],
+    target_aur: float = 0.65,
+    target_atr: float = 0.75,
+) -> list[tuple[float, float, float]]:
+    """Build (QD_AUR, QD_ATR, optimal_depth) samples from a depth sweep.
+
+    ``QD_AUR`` is the smallest swept depth whose measured utility still meets
+    the target (the depth the AUR search would settle at); ``QD_ATR``
+    likewise for timeliness; the regression target is the IPC-optimal depth.
+    """
+    rows: list[tuple[float, float, float]] = []
+    for results in sweep.values():
+        depths = sorted(results)
+        qd_aur = depths[0]
+        for depth in depths:
+            if results[depth].utility >= target_aur:
+                qd_aur = depth
+            else:
+                break
+        qd_atr = depths[-1]
+        for depth in depths:
+            if results[depth].timeliness >= target_atr:
+                qd_atr = depth
+                break
+        optimal = max(depths, key=lambda d: results[d].ipc)
+        rows.append((float(qd_aur), float(qd_atr), float(optimal)))
+    return rows
+
+
+def fit_regression(
+    rows: list[tuple[float, float, float]],
+) -> tuple[float, float, float, float, float]:
+    """Least-squares fit of the paper's quadratic form; returns (a,b,c,d,e)."""
+    if len(rows) < 5:
+        raise ValueError("need at least 5 samples to fit 5 coefficients")
+    qd_aur = np.array([r[0] for r in rows])
+    qd_atr = np.array([r[1] for r in rows])
+    target = np.array([r[2] for r in rows])
+    design = np.column_stack(
+        [qd_aur, qd_atr, qd_aur**2, qd_atr**2, qd_aur * qd_atr]
+    )
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return tuple(float(c) for c in coeffs)  # type: ignore[return-value]
+
+
+def fit_from_sweep(
+    sweep: dict[str, dict[int, SimResult]],
+    target_aur: float = 0.65,
+    target_atr: float = 0.75,
+) -> tuple[float, float, float, float, float]:
+    """Convenience: :func:`training_rows` + :func:`fit_regression`."""
+    return fit_regression(training_rows(sweep, target_aur, target_atr))

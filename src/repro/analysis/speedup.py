@@ -1,0 +1,46 @@
+"""Speedup arithmetic shared by the experiment harness."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import SimResult, geomean
+
+
+def pct(speedup_ratio: float) -> float:
+    """Speedup ratio → percent uplift (1.036 → 3.6)."""
+    return (speedup_ratio - 1.0) * 100.0
+
+
+def speedups_over(
+    results: dict[str, SimResult], baselines: dict[str, SimResult]
+) -> dict[str, float]:
+    """Per-workload IPC speedup ratios of ``results`` over ``baselines``."""
+    out: dict[str, float] = {}
+    for workload, result in results.items():
+        base = baselines[workload]
+        out[workload] = result.ipc / base.ipc if base.ipc else 1.0
+    return out
+
+
+def summarize_speedups(ratios: dict[str, float]) -> dict[str, float]:
+    """Max / min / geomean of a per-workload speedup dict (in percent)."""
+    values = list(ratios.values())
+    return {
+        "max_pct": pct(max(values)) if values else 0.0,
+        "min_pct": pct(min(values)) if values else 0.0,
+        "geomean_pct": pct(geomean(values)) if values else 0.0,
+    }
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation coefficient (Table III's bottom row)."""
+    n = len(xs)
+    if n < 2 or n != len(ys):
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5

@@ -1,0 +1,75 @@
+"""Multi-seed robustness statistics.
+
+The paper averages 10 SimPoints per application; our equivalent of
+sampling variance is the synthesis/data seed.  ``multi_seed_speedup``
+repeats a baseline/technique comparison across seeds and reports the mean
+speedup with a normal-approximation confidence interval, so reproduction
+claims can be checked for seed-robustness rather than read off a single
+run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.config import SimConfig
+from repro.sim.runner import run_workload
+
+
+@dataclass
+class SpeedupStats:
+    """Speedup distribution over seeds."""
+
+    workload: str
+    ratios: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ratios) / len(self.ratios)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.ratios) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((r - mu) ** 2 for r in self.ratios) / (len(self.ratios) - 1)
+        )
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval on the mean."""
+        half = 1.96 * self.stdev / math.sqrt(len(self.ratios))
+        return self.mean - half, self.mean + half
+
+    @property
+    def mean_pct(self) -> float:
+        return (self.mean - 1.0) * 100.0
+
+    def consistent_sign(self) -> bool:
+        """True when every seed agrees on the speedup direction."""
+        return all(r >= 1.0 for r in self.ratios) or all(
+            r <= 1.0 for r in self.ratios
+        )
+
+
+def multi_seed_speedup(
+    workload: str,
+    baseline: SimConfig,
+    technique: SimConfig,
+    seeds: list[int],
+) -> SpeedupStats:
+    """Run baseline and technique across ``seeds``; collect IPC ratios."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    ratios: list[float] = []
+    for seed in seeds:
+        base = run_workload(
+            workload, baseline.replace(seed=seed), "baseline", seed=seed
+        )
+        test = run_workload(
+            workload, technique.replace(seed=seed), "technique", seed=seed
+        )
+        ratios.append(test.ipc / base.ipc if base.ipc else 1.0)
+    return SpeedupStats(workload, ratios)

@@ -1,0 +1,42 @@
+"""ASCII rendering of experiment results (the harness's "figures")."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str = ""
+) -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    x_label: str,
+    xs: list[object],
+    series: dict[str, list[float]],
+    title: str = "",
+) -> str:
+    """Render a figure's line series as a table: one row per x value."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)

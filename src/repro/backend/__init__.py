@@ -1,0 +1,5 @@
+"""Backend core: dispatch/issue/retire window with branch resolution timing."""
+
+from repro.backend.core import OP_BRANCH, BackendCore, MicroOp
+
+__all__ = ["OP_BRANCH", "BackendCore", "MicroOp"]

@@ -1,0 +1,44 @@
+"""Branch prediction substrate: TAGE, BTB, indirect target buffer, RAS."""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import (
+    BranchTargetBuffer,
+    BTBEntry,
+    IndirectTargetBuffer,
+    btb_from_config,
+    ibtb_from_config,
+)
+from repro.branch.history import FoldedHistory, GlobalHistory
+from repro.branch.loop_predictor import LoopPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import (
+    CONF_HIGH,
+    CONF_LOW,
+    CONF_MEDIUM,
+    CONFIDENCE_NAMES,
+    TagePrediction,
+    TagePredictor,
+)
+from repro.branch.two_level_btb import TwoLevelBTB
+from repro.branch.unit import BranchPredictionUnit
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BTBEntry",
+    "IndirectTargetBuffer",
+    "btb_from_config",
+    "ibtb_from_config",
+    "FoldedHistory",
+    "GlobalHistory",
+    "ReturnAddressStack",
+    "CONF_HIGH",
+    "CONF_LOW",
+    "CONF_MEDIUM",
+    "CONFIDENCE_NAMES",
+    "TagePrediction",
+    "TagePredictor",
+    "BranchPredictionUnit",
+    "LoopPredictor",
+    "TwoLevelBTB",
+]

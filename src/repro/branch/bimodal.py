@@ -1,0 +1,40 @@
+"""Bimodal (PC-indexed 2-bit counter) direction predictor.
+
+Serves as the base predictor of TAGE: the fallback prediction when no tagged
+table hits, and the provider component against which tagged allocations are
+judged.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """A table of saturating 2-bit counters indexed by the branch PC."""
+
+    def __init__(self, table_bits: int = 13) -> None:
+        self.table_bits = table_bits
+        self.size = 1 << table_bits
+        # 0..3; >=2 predicts taken.  Initialized weakly taken (2) because
+        # most branches in real code are taken (loop back-edges).
+        self.table = bytearray([2] * self.size)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.size - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self.table[self._index(pc)] >= 2
+
+    def counter(self, pc: int) -> int:
+        """Raw counter value (0..3) — used for confidence estimation."""
+        return self.table[self._index(pc)]
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter with the resolved outcome."""
+        i = self._index(pc)
+        value = self.table[i]
+        if taken:
+            if value < 3:
+                self.table[i] = value + 1
+        elif value > 0:
+            self.table[i] = value - 1

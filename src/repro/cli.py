@@ -1,0 +1,262 @@
+"""Command-line interface: run simulations and regenerate paper experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-workloads
+    python -m repro run -w xgboost -c udp -n 20000
+    python -m repro compare -w xgboost,gcc -c baseline,udp,perfect-icache
+    python -m repro figure fig3 -w mysql,verilator -n 15000
+    python -m repro trace -w mysql --blocks 3000 -o mysql.trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+from repro.sim.presets import PRESET_BUILDERS
+from repro.sim.runner import program_for, run_workload
+from repro.workloads.profiles import SUITE
+from repro.workloads.tracefile import record_trace
+
+_FIGURES_NEEDING_SWEEP = {"fig3", "fig4", "fig5", "fig6", "fig8", "table3"}
+
+
+def _parse_workloads(value: str | None) -> list[str] | None:
+    if not value:
+        return None
+    return [w.strip() for w in value.split(",") if w.strip()]
+
+
+def cmd_list_workloads(_args) -> int:
+    rows = [
+        [p.name, p.description, p.num_functions, p.dispatcher]
+        for p in SUITE
+    ]
+    print(format_table(["workload", "description", "functions", "dispatcher"], rows))
+    return 0
+
+
+def cmd_list_configs(_args) -> int:
+    for name in sorted(PRESET_BUILDERS):
+        print(name)
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = PRESET_BUILDERS[args.config](args.instructions)
+    result = run_workload(args.workload, config, args.config, seed=args.seed)
+    summary = result.summary()
+    rows = [[key, f"{value:.4f}"] for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.workload} / {args.config}"))
+    if args.counters:
+        for name, value in sorted(result.counters.items()):
+            print(f"{name} = {value}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workloads = _parse_workloads(args.workloads) or [p.name for p in SUITE]
+    configs = _parse_workloads(args.configs) or ["baseline", "udp"]
+    headers = ["workload"] + [f"{c} IPC" for c in configs]
+    rows = []
+    for workload in workloads:
+        row: list[object] = [workload]
+        base_ipc = None
+        for config_name in configs:
+            config = PRESET_BUILDERS[config_name](args.instructions)
+            result = run_workload(workload, config, config_name, seed=args.seed)
+            if base_ipc is None:
+                base_ipc = result.ipc
+                row.append(f"{result.ipc:.3f}")
+            else:
+                pct = (result.ipc / base_ipc - 1) * 100 if base_ipc else 0.0
+                row.append(f"{result.ipc:.3f} ({pct:+.1f}%)")
+        rows.append(row)
+    print(format_table(headers, rows, title=f"{args.instructions} instructions/run"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    workloads = _parse_workloads(args.workloads)
+    name = args.name
+    if name in _FIGURES_NEEDING_SWEEP:
+        sweep = experiments.ftq_sweep_suite(
+            workloads, instructions=args.instructions
+        )
+        fn = {
+            "fig3": experiments.fig3_ftq_sweep,
+            "fig4": experiments.fig4_timeliness,
+            "fig5": experiments.fig5_on_path_ratio,
+            "fig6": experiments.fig6_usefulness,
+            "fig8": experiments.fig8_occupancy,
+            "table3": experiments.table3_optimal_ftq,
+        }[name]
+        result = fn(sweep)
+    elif name == "fig1":
+        result = experiments.fig1_perfect_icache(workloads, args.instructions)
+    elif name == "fig11":
+        result = experiments.fig11_uftq_speedup(workloads, args.instructions)
+    elif name == "fig12":
+        result = experiments.fig12_uftq_mpki(
+            experiments.fig11_uftq_speedup(workloads, args.instructions)
+        )
+    elif name in ("fig13", "fig14", "fig15"):
+        fig13 = experiments.fig13_udp_speedup(workloads, args.instructions)
+        result = {
+            "fig13": lambda: fig13,
+            "fig14": lambda: experiments.fig14_udp_mpki(fig13),
+            "fig15": lambda: experiments.fig15_lost_instructions(fig13),
+        }[name]()
+    elif name == "fig16":
+        result = experiments.fig16_btb_sensitivity(workloads, instructions=args.instructions)
+    elif name == "fig17":
+        result = experiments.fig17_ftq_sensitivity(workloads, instructions=args.instructions)
+    else:
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    print(result["table"])
+    return 0
+
+
+def cmd_trace(args) -> int:
+    program = program_for(args.workload, args.seed)
+    instructions = record_trace(program, args.blocks, args.out)
+    print(f"wrote {args.blocks} blocks ({instructions} instructions) to {args.out}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.analysis.characterize import (
+        characterization_table,
+        characterize_suite,
+        validate_characteristics,
+    )
+
+    characters = characterize_suite(
+        _parse_workloads(args.workloads), instructions=args.instructions
+    )
+    print(characterization_table(characters))
+    problems = validate_characteristics(characters)
+    if problems:
+        print("\nvalidation problems:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nall characteristic orderings hold")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+
+    write_report(
+        args.out,
+        workloads=_parse_workloads(args.workloads),
+        instructions=args.instructions,
+        sweep_workloads=_parse_workloads(args.sweep_workloads),
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_reuse(args) -> int:
+    from repro.workloads.reuse import code_reuse_profile
+
+    program = program_for(args.workload, args.seed)
+    profile = code_reuse_profile(program, num_blocks=args.blocks)
+    print(f"{args.workload}: {profile.total_accesses} line accesses, "
+          f"{profile.cold_accesses} cold, "
+          f"median reuse distance {profile.median_distance}")
+    capacities = [64, 128, 256, 512, 640, 1024, 4096]
+    for capacity, miss in profile.miss_curve(capacities):
+        marker = "  <- 32KiB L1I" if capacity == 512 else (
+            "  <- 40KiB L1I" if capacity == 640 else "")
+        print(f"  {capacity:5d} lines: predicted miss rate {miss:6.1%}{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UDP (ISCA 2024) reproduction: simulations and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show the 10 suite workloads").set_defaults(
+        fn=cmd_list_workloads
+    )
+    sub.add_parser("list-configs", help="show technique presets").set_defaults(
+        fn=cmd_list_configs
+    )
+
+    run = sub.add_parser("run", help="simulate one workload/config pair")
+    run.add_argument("-w", "--workload", default="xgboost")
+    run.add_argument("-c", "--config", default="baseline", choices=sorted(PRESET_BUILDERS))
+    run.add_argument("-n", "--instructions", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--counters", action="store_true", help="dump raw counters")
+    run.set_defaults(fn=cmd_run)
+
+    compare = sub.add_parser("compare", help="IPC table across workloads x configs")
+    compare.add_argument("-w", "--workloads", default="")
+    compare.add_argument("-c", "--configs", default="baseline,udp")
+    compare.add_argument("-n", "--instructions", type=int, default=20_000)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.set_defaults(fn=cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure/table")
+    figure.add_argument(
+        "name",
+        choices=sorted(_FIGURES_NEEDING_SWEEP | {
+            "fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        }),
+    )
+    figure.add_argument("-w", "--workloads", default="")
+    figure.add_argument("-n", "--instructions", type=int, default=15_000)
+    figure.set_defaults(fn=cmd_figure)
+
+    trace = sub.add_parser("trace", help="export an oracle trace to JSONL")
+    trace.add_argument("-w", "--workload", default="mysql")
+    trace.add_argument("--blocks", type=int, default=5_000)
+    trace.add_argument("-o", "--out", default="trace.jsonl")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.set_defaults(fn=cmd_trace)
+
+    characterize = sub.add_parser(
+        "characterize", help="measure + validate workload characteristics"
+    )
+    characterize.add_argument("-w", "--workloads", default="")
+    characterize.add_argument("-n", "--instructions", type=int, default=10_000)
+    characterize.set_defaults(fn=cmd_characterize)
+
+    report = sub.add_parser(
+        "report", help="run all experiments and write a markdown report"
+    )
+    report.add_argument("-o", "--out", default="EXPERIMENTS.generated.md")
+    report.add_argument("-w", "--workloads", default="")
+    report.add_argument("--sweep-workloads", default="")
+    report.add_argument("-n", "--instructions", type=int, default=15_000)
+    report.set_defaults(fn=cmd_report)
+
+    reuse = sub.add_parser(
+        "reuse", help="code reuse-distance / miss-rate-curve analysis"
+    )
+    reuse.add_argument("-w", "--workload", default="gcc")
+    reuse.add_argument("--blocks", type=int, default=8_000)
+    reuse.add_argument("--seed", type=int, default=1)
+    reuse.set_defaults(fn=cmd_reuse)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Address arithmetic helpers for lines, fetch blocks, and instructions.
+
+The simulated ISA uses fixed 4-byte instructions.  The frontend operates on
+32-byte *fetch blocks* (aligned), the caches on 64-byte *lines* (aligned), so
+every fetch block maps to exactly one icache line.  All addresses are plain
+Python ints (byte addresses).
+"""
+
+from __future__ import annotations
+
+INSTR_BYTES = 4
+FETCH_BLOCK_BYTES = 32
+LINE_BYTES = 64
+
+INSTRS_PER_FETCH_BLOCK = FETCH_BLOCK_BYTES // INSTR_BYTES
+FETCH_BLOCKS_PER_LINE = LINE_BYTES // FETCH_BLOCK_BYTES
+
+
+def line_of(addr: int) -> int:
+    """Return the line address (aligned) containing ``addr``."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def line_index(addr: int) -> int:
+    """Return the line number (address divided by the line size)."""
+    return addr >> 6
+
+
+def block_of(addr: int) -> int:
+    """Return the fetch-block address (aligned) containing ``addr``."""
+    return addr & ~(FETCH_BLOCK_BYTES - 1)
+
+
+def block_end(addr: int) -> int:
+    """Return the first byte past the fetch block containing ``addr``."""
+    return block_of(addr) + FETCH_BLOCK_BYTES
+
+
+def next_block(addr: int) -> int:
+    """Return the start address of the fetch block after ``addr``'s block."""
+    return block_of(addr) + FETCH_BLOCK_BYTES
+
+
+def next_line(addr: int) -> int:
+    """Return the start address of the line after ``addr``'s line."""
+    return line_of(addr) + LINE_BYTES
+
+
+def instr_aligned(addr: int) -> bool:
+    """True if ``addr`` is a legal instruction address."""
+    return addr % INSTR_BYTES == 0
+
+
+def instrs_between(start: int, end: int) -> int:
+    """Number of instructions in the half-open byte range [start, end)."""
+    if end <= start:
+        return 0
+    return (end - start) // INSTR_BYTES
+
+
+def span_lines(start: int, end: int) -> list[int]:
+    """Return the aligned line addresses touched by the byte range [start, end)."""
+    if end <= start:
+        return []
+    lines = []
+    line = line_of(start)
+    while line < end:
+        lines.append(line)
+        line += LINE_BYTES
+    return lines

@@ -1,0 +1,84 @@
+"""Lightweight statistics counters.
+
+:class:`Counters` is a plain attribute bag of integer event counters used by
+every simulator component.  Derived metrics (IPC, MPKI, ratios) live in
+:mod:`repro.sim.metrics` so that raw counts and derived values never get
+conflated.
+"""
+
+from __future__ import annotations
+
+
+class Counters:
+    """A dynamic bag of named integer counters.
+
+    Unknown names read as 0, so components can bump counters without
+    registering them first::
+
+        c = Counters()
+        c.bump("icache_hits")
+        c.bump("icache_hits", 3)
+        assert c["icache_hits"] == 4
+        assert c["never_touched"] == 0
+    """
+
+    __slots__ = ("_values", "hook")
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+        # Optional observer called as hook(name, amount) on every bump —
+        # used by the pipeline tracer; None in normal operation.
+        self.hook = None
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._values[name] = self._values.get(name, 0) + amount
+        if self.hook is not None:
+            self.hook(name, amount)
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter ``name`` to ``value``."""
+        self._values[name] = value
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a copy of all non-zero counters."""
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        """Add every counter from ``other`` into this bag."""
+        for name, value in other._values.items():
+            self.bump(name, value)
+
+    def snapshot(self) -> dict[str, int]:
+        """Alias of :meth:`as_dict` (kept for readability at call sites)."""
+        return self.as_dict()
+
+    def delta_since(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Return per-counter difference versus an earlier :meth:`snapshot`."""
+        out: dict[str, int] = {}
+        for name, value in self._values.items():
+            diff = value - baseline.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({items})"
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Safe division returning ``default`` when the denominator is zero."""
+    if denominator == 0:
+        return default
+    return numerator / denominator

@@ -1,0 +1,19 @@
+"""Exception types for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class ProgramError(ReproError):
+    """An ill-formed synthetic program (bad CFG, unmapped address, ...)."""
+
+
+class SimulationError(ReproError):
+    """An internal inconsistency detected while simulating."""

@@ -1,0 +1,25 @@
+"""The paper's contributions: UDP prefetch gating and UFTQ dynamic sizing."""
+
+from repro.core.bloom import BloomFilter, capacity_for_fpr, optimal_num_hashes
+from repro.core.confidence import ConfidenceEstimator
+from repro.core.seniority import SeniorityFTQ
+from repro.core.superline import CoalescingBuffer, superline_base, superline_lines
+from repro.core.udp import UDPFilter
+from repro.core.uftq import PAPER_REGRESSION, UFTQController, regression_depth
+from repro.core.useful_set import UsefulSet
+
+__all__ = [
+    "BloomFilter",
+    "capacity_for_fpr",
+    "optimal_num_hashes",
+    "ConfidenceEstimator",
+    "SeniorityFTQ",
+    "CoalescingBuffer",
+    "superline_base",
+    "superline_lines",
+    "UDPFilter",
+    "PAPER_REGRESSION",
+    "UFTQController",
+    "regression_depth",
+    "UsefulSet",
+]

@@ -1,0 +1,25 @@
+"""Decoupled frontend: FTQ, run-ahead walker, FDIP prefetch engine."""
+
+from repro.frontend.bpu import DecoupledFrontend, PathEstimator
+from repro.frontend.fdip import FDIPEngine, PrefetchGate
+from repro.frontend.fetch_block import (
+    RESTEER_AT_DECODE,
+    RESTEER_AT_EXECUTE,
+    FTQEntry,
+    PendingResteer,
+    SeenBranch,
+)
+from repro.frontend.ftq import FetchTargetQueue
+
+__all__ = [
+    "DecoupledFrontend",
+    "PathEstimator",
+    "FDIPEngine",
+    "PrefetchGate",
+    "RESTEER_AT_DECODE",
+    "RESTEER_AT_EXECUTE",
+    "FTQEntry",
+    "PendingResteer",
+    "SeenBranch",
+    "FetchTargetQueue",
+]

@@ -1,0 +1,108 @@
+"""FTQ entry types: fetch blocks, seen branches, pending resteers.
+
+An :class:`FTQEntry` is one *fetch block* — a contiguous instruction range
+inside a single 32-byte aligned region, terminated early by a predicted-taken
+branch.  Entries carry:
+
+* the instruction payload (compact per-instruction op kinds, so the
+  decode/dispatch stage never has to re-walk the program),
+* every static branch the walker passed (with whether the BTB detected it
+  and what was predicted),
+* ground-truth path tags (``on_path`` / ``on_path_instrs``) used for
+  statistics and squash bookkeeping,
+* UDP's *assumed* path tag (``assumed_off_path``) used for prefetch gating,
+* an optional :class:`PendingResteer` when this entry contains the first
+  diverging branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addr import INSTR_BYTES, line_of
+from repro.workloads.program import Branch, BranchKind
+
+RESTEER_AT_DECODE = "decode"
+RESTEER_AT_EXECUTE = "execute"
+
+
+@dataclass
+class PendingResteer:
+    """A detected divergence waiting for its resolution point.
+
+    Created by the walker the moment a prediction disagrees with the oracle;
+    fires when the diverging branch reaches ``stage`` ("decode" for
+    post-fetch-corrected BTB misses, "execute" for mispredictions), flushing
+    the frontend and restoring ``history_state``.
+    """
+
+    branch_pc: int
+    stage: str
+    resume_pc: int
+    history_state: tuple
+    kind: BranchKind
+    true_taken: bool
+    cause: str  # "btb_miss" | "cond_mispredict" | "indirect_mispredict" | "ras_mispredict"
+
+
+@dataclass
+class SeenBranch:
+    """A static branch the walker passed while building an entry."""
+
+    branch: Branch
+    detected: bool  # BTB hit at generation time
+    predicted_taken: bool
+    predicted_target: int = 0
+    # The TAGE prediction object for detected conditionals (training handle).
+    prediction: object | None = None
+
+
+@dataclass
+class FTQEntry:
+    """One fetch block in the fetch target queue."""
+
+    seq: int
+    start: int
+    end: int  # one past the last instruction byte
+    on_path: bool
+    ops: bytes = b""
+    branches: list[SeenBranch] = field(default_factory=list)
+    resteer: PendingResteer | None = None
+    # Instructions considered on-path (up to and including a diverging
+    # branch); equals num_instrs when no divergence occurs inside the entry.
+    on_path_instrs: int = -1
+    # UDP's belief at generation time that the frontend is off-path.
+    assumed_off_path: bool = False
+    # Fetch-stage state: -1 = not yet accessed, otherwise the cycle the
+    # icache line becomes consumable.
+    ready_cycle: int = -1
+    # Decode progress: next instruction offset to dispatch.
+    decode_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.on_path_instrs < 0:
+            self.on_path_instrs = self.num_instrs
+
+    @property
+    def num_instrs(self) -> int:
+        return (self.end - self.start) // INSTR_BYTES
+
+    @property
+    def line_addr(self) -> int:
+        """The single icache line this fetch block resides in."""
+        return line_of(self.start)
+
+    def pc_at(self, offset: int) -> int:
+        """PC of the ``offset``-th instruction in the entry."""
+        return self.start + offset * INSTR_BYTES
+
+    def branch_at(self, pc: int) -> SeenBranch | None:
+        """The seen-branch record whose instruction sits at ``pc``."""
+        for seen in self.branches:
+            if seen.branch.pc == pc:
+                return seen
+        return None
+
+    def instr_on_path(self, offset: int) -> bool:
+        """Ground-truth path of the ``offset``-th instruction."""
+        return self.on_path and offset < self.on_path_instrs

@@ -1,0 +1,90 @@
+"""The fetch target queue (FTQ).
+
+The FTQ decouples branch prediction from instruction fetch: the walker
+pushes fetch blocks at the tail, the fetch stage consumes them at the head,
+and FDIP scans the window in between.  Its *logical* depth bounds how far
+the frontend may run ahead — the central knob of the paper (fixed at 32 in
+the baseline, swept in Section III, adapted dynamically by UFTQ).
+
+The logical depth can be changed at any time (UFTQ); shrinking below the
+current occupancy never drops entries — generation simply pauses until the
+queue drains below the new bound, matching the paper's description of
+resizing a physically larger structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.frontend.fetch_block import FTQEntry
+
+
+class FetchTargetQueue:
+    """A bounded FIFO of fetch blocks with occupancy statistics."""
+
+    def __init__(self, depth: int, max_physical: int) -> None:
+        self.max_physical = max_physical
+        self._depth = min(depth, max_physical)
+        self._entries: deque[FTQEntry] = deque()
+        # Occupancy integration for Fig 8 (average FTQ occupancy).
+        self.occupancy_sum = 0
+        self.occupancy_samples = 0
+
+    # -- depth control (UFTQ) ---------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """The current logical depth."""
+        return self._depth
+
+    @depth.setter
+    def depth(self, value: int) -> None:
+        self._depth = max(1, min(value, self.max_physical))
+
+    # -- queue operations ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        return len(self._entries) < self._depth
+
+    def push(self, entry: FTQEntry) -> None:
+        if entry.end <= entry.start:
+            raise ValueError(
+                f"malformed fetch block [{entry.start:#x}, {entry.end:#x})"
+            )
+        self._entries.append(entry)
+
+    def head(self) -> FTQEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> FTQEntry:
+        return self._entries.popleft()
+
+    def entry_at(self, index: int) -> FTQEntry | None:
+        """Random access for the FDIP scan window (index 0 = head)."""
+        if 0 <= index < len(self._entries):
+            return self._entries[index]
+        return None
+
+    def flush(self) -> int:
+        """Drop every entry (resteer); returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def sample_occupancy(self) -> None:
+        """Record the current occupancy (called once per cycle)."""
+        self.occupancy_sum += len(self._entries)
+        self.occupancy_samples += 1
+
+    @property
+    def average_occupancy(self) -> float:
+        if self.occupancy_samples == 0:
+            return 0.0
+        return self.occupancy_sum / self.occupancy_samples
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,15 @@
+"""Memory hierarchy substrate: caches, MSHRs, stream prefetcher, uncore."""
+
+from repro.memory.cache import CacheLine, SetAssocCache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHREntry, MSHRFile
+from repro.memory.stream import StreamPrefetcher
+
+__all__ = [
+    "CacheLine",
+    "SetAssocCache",
+    "MemoryHierarchy",
+    "MSHREntry",
+    "MSHRFile",
+    "StreamPrefetcher",
+]

@@ -1,0 +1,112 @@
+"""Set-associative cache with per-line prefetch metadata.
+
+The L1 instruction cache carries a *prefetch bit* per line (set when a
+prefetched line is installed, cleared on the first demand hit) plus the
+path tag of the emitting prefetch — the bookkeeping both UFTQ (utility
+ratio measurement) and UDP (useful-set training) rely on.  The paper notes
+most architectures already implement these bits, so they are not counted as
+technique-specific overhead.
+
+Timing lives in :mod:`repro.memory.hierarchy`; this class models contents
+and replacement only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.config import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident line."""
+
+    line_addr: int
+    lru: int = 0
+    prefetch_bit: bool = False
+    prefetch_off_path: bool = False  # path tag of the emitting prefetch
+    prefetch_udp_candidate: bool = False  # emitted under UDP's off-path belief
+    dirty: bool = False
+
+
+class SetAssocCache:
+    """A set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        # Called with the victim CacheLine on every eviction (utility tracking).
+        self.eviction_hook: Callable[[CacheLine], None] | None = None
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr >> self.line_shift) & (self.num_sets - 1)
+
+    def lookup(self, line_addr: int, touch: bool = True) -> CacheLine | None:
+        """Return the resident line or None; refreshes LRU when ``touch``."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is not None and touch:
+            self._stamp += 1
+            line.lru = self._stamp
+        return line
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check that does not perturb LRU."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def install(
+        self,
+        line_addr: int,
+        prefetch: bool = False,
+        prefetch_off_path: bool = False,
+        prefetch_udp_candidate: bool = False,
+        dirty: bool = False,
+    ) -> CacheLine:
+        """Install a line, evicting LRU if the set is full.
+
+        Re-installing a resident line refreshes it in place (and never marks
+        a demand-fetched line back as prefetched).
+        """
+        way_set = self._sets[self._set_index(line_addr)]
+        self._stamp += 1
+        line = way_set.get(line_addr)
+        if line is not None:
+            line.lru = self._stamp
+            line.dirty = line.dirty or dirty
+            return line
+        if len(way_set) >= self.assoc:
+            victim = min(way_set.values(), key=lambda entry: entry.lru)
+            del way_set[victim.line_addr]
+            if self.eviction_hook is not None:
+                self.eviction_hook(victim)
+        line = CacheLine(
+            line_addr,
+            lru=self._stamp,
+            prefetch_bit=prefetch,
+            prefetch_off_path=prefetch_off_path,
+            prefetch_udp_candidate=prefetch_udp_candidate,
+            dirty=dirty,
+        )
+        way_set[line_addr] = line
+        return line
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line (no eviction hook); True if it was resident."""
+        way_set = self._sets[self._set_index(line_addr)]
+        return way_set.pop(line_addr, None) is not None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> list[int]:
+        """All resident line addresses (test/diagnostic helper)."""
+        out: list[int] = []
+        for way_set in self._sets:
+            out.extend(way_set.keys())
+        return out

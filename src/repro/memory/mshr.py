@@ -1,0 +1,100 @@
+"""Miss status holding registers (a.k.a. the fill buffer).
+
+The L1I MSHR file is central to the paper's *timeliness* metric: a demand
+fetch that finds its line already in flight (allocated by an earlier FDIP
+prefetch) merges with the MSHR entry — an **MSHR hit**, i.e. a useful but
+*untimely* prefetch.  The ATR used by UFTQ is
+``icache_hits / (icache_hits + MSHR_hits)`` over prefetched lines.
+
+Entries carry the prefetch/path/UDP-candidate metadata needed for utility
+accounting when the fill finally installs into the cache.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MSHREntry:
+    """One in-flight miss."""
+
+    line_addr: int
+    ready_cycle: int
+    is_prefetch: bool
+    off_path: bool = False  # ground-truth path of the *emitting* access
+    udp_candidate: bool = False  # emitted while UDP assumed off-path
+    demand_merged: bool = False  # any demand access merged while in flight
+    demand_on_path: bool = False  # an *on-path* demand merged (claims utility)
+    fill_level: str = ""  # which level served the miss (stats)
+
+
+@dataclass
+class MSHRFile:
+    """A bounded set of in-flight misses with a ready-time queue."""
+
+    capacity: int
+    _entries: dict[int, MSHREntry] = field(default_factory=dict)
+    _ready_heap: list[tuple[int, int]] = field(default_factory=list)
+
+    def lookup(self, line_addr: int) -> MSHREntry | None:
+        """The in-flight entry for ``line_addr``, if any."""
+        return self._entries.get(line_addr)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def allocate(
+        self,
+        line_addr: int,
+        ready_cycle: int,
+        is_prefetch: bool,
+        off_path: bool = False,
+        udp_candidate: bool = False,
+        fill_level: str = "",
+    ) -> MSHREntry | None:
+        """Allocate an entry; None when the file is full or already in flight.
+
+        Callers must check :meth:`lookup` first (merging is their decision);
+        allocating a duplicate line is rejected rather than merged here.
+        """
+        if self.full or line_addr in self._entries:
+            return None
+        entry = MSHREntry(
+            line_addr,
+            ready_cycle,
+            is_prefetch,
+            off_path=off_path,
+            udp_candidate=udp_candidate,
+            fill_level=fill_level,
+        )
+        self._entries[line_addr] = entry
+        heapq.heappush(self._ready_heap, (ready_cycle, line_addr))
+        return entry
+
+    def pop_ready(self, cycle: int) -> list[MSHREntry]:
+        """Remove and return every entry whose fill completes by ``cycle``."""
+        ready: list[MSHREntry] = []
+        while self._ready_heap and self._ready_heap[0][0] <= cycle:
+            _, line_addr = heapq.heappop(self._ready_heap)
+            entry = self._entries.pop(line_addr, None)
+            if entry is not None:
+                ready.append(entry)
+        return ready
+
+    def next_ready_cycle(self) -> int | None:
+        """Earliest outstanding fill time (idle-skip support)."""
+        while self._ready_heap and self._ready_heap[0][1] not in self._entries:
+            heapq.heappop(self._ready_heap)
+        return self._ready_heap[0][0] if self._ready_heap else None
+
+    def clear(self) -> None:
+        """Drop all in-flight entries (used only by tests; fills are never
+        cancelled by pipeline flushes in the simulator, as in real hardware)."""
+        self._entries.clear()
+        self._ready_heap.clear()

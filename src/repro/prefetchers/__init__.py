@@ -1,0 +1,20 @@
+"""Stand-alone instruction prefetchers used as comparators."""
+
+from repro.prefetchers.base import InstructionPrefetcher, NullPrefetcher
+from repro.prefetchers.eip import EntangledInstructionPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.swprefetch import (
+    ProfileGuidedPrefetcher,
+    build_for_program,
+    profile_instruction_misses,
+)
+
+__all__ = [
+    "InstructionPrefetcher",
+    "NullPrefetcher",
+    "EntangledInstructionPrefetcher",
+    "NextLinePrefetcher",
+    "ProfileGuidedPrefetcher",
+    "build_for_program",
+    "profile_instruction_misses",
+]

@@ -1,0 +1,33 @@
+"""Interface for stand-alone instruction prefetchers (non-FDIP comparators).
+
+Stand-alone prefetchers observe the L1I *demand* access stream — unlike
+FDIP they have no view of the FTQ — and return line addresses to prefetch.
+The simulator issues those through the same MSHR/fill path as FDIP
+prefetches, so utility and timeliness accounting is identical across
+techniques.
+"""
+
+from __future__ import annotations
+
+
+class InstructionPrefetcher:
+    """Base class: observes demand accesses, proposes prefetches."""
+
+    name = "none"
+
+    def on_demand_access(self, line_addr: int, hit: bool, on_path: bool) -> list[int]:
+        """Observe one L1I demand access; return lines to prefetch."""
+        raise NotImplementedError
+
+    def storage_bytes(self) -> int:
+        """Metadata storage consumed (for ISO-storage comparisons)."""
+        return 0
+
+
+class NullPrefetcher(InstructionPrefetcher):
+    """No instruction prefetching (the "none" configuration)."""
+
+    name = "none"
+
+    def on_demand_access(self, line_addr: int, hit: bool, on_path: bool) -> list[int]:
+        return []

@@ -1,0 +1,62 @@
+"""Simulation: the cycle-level core model, run drivers, presets, metrics."""
+
+from repro.sim.energy import EnergyModel, EnergyReport, efficiency_comparison, energy_report
+from repro.sim.metrics import SimResult, geomean, speedup
+from repro.sim.presets import (
+    PRESET_BUILDERS,
+    baseline_config,
+    bigger_icache_config,
+    eip_config,
+    infinite_storage_config,
+    loop_predictor_config,
+    no_prefetch_config,
+    opt_config,
+    sw_profile_config,
+    two_level_btb_config,
+    perfect_icache_config,
+    udp_config,
+    uftq_config,
+)
+from repro.sim.runner import (
+    optimal_ftq_depth,
+    program_for,
+    run_program,
+    run_suite,
+    run_workload,
+    sweep_ftq_depths,
+)
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "efficiency_comparison",
+    "energy_report",
+    "SimResult",
+    "geomean",
+    "speedup",
+    "PRESET_BUILDERS",
+    "baseline_config",
+    "bigger_icache_config",
+    "eip_config",
+    "infinite_storage_config",
+    "loop_predictor_config",
+    "no_prefetch_config",
+    "sw_profile_config",
+    "two_level_btb_config",
+    "opt_config",
+    "perfect_icache_config",
+    "udp_config",
+    "uftq_config",
+    "optimal_ftq_depth",
+    "program_for",
+    "run_program",
+    "run_suite",
+    "run_workload",
+    "sweep_ftq_depths",
+    "Simulator",
+]
+
+from repro.sim.tracer import PipelineTracer, TraceEvent  # noqa: E402
+
+__all__ += ["PipelineTracer", "TraceEvent"]

@@ -1,0 +1,126 @@
+"""Energy and off-chip-traffic accounting (Section V-C's efficiency claim).
+
+The paper: *"UDP also improves power efficiency by reducing the number of
+emitted prefetches and off-chip memory traffic."*  This module turns a
+run's raw counters into first-order energy and traffic estimates so that
+claim can be measured.
+
+The per-event energies are CACTI-class ballpark figures for a ~7nm server
+part (documented constants, not calibrated silicon): what matters for the
+paper's claim is the *relative* traffic/energy between techniques at equal
+work, so any consistent constants expose the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.counters import ratio
+from repro.sim.metrics import SimResult
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs in picojoules."""
+
+    l1_access_pj: float = 10.0
+    l2_access_pj: float = 40.0
+    llc_access_pj: float = 120.0
+    dram_access_pj: float = 2_000.0
+    bloom_lookup_pj: float = 2.0
+    btb_access_pj: float = 4.0
+    base_uop_pj: float = 18.0  # pipeline overhead per dispatched uop
+
+
+@dataclass
+class EnergyReport:
+    """Energy/traffic breakdown for one simulation."""
+
+    workload: str
+    config_name: str
+    total_pj: float
+    per_component_pj: dict[str, float] = field(default_factory=dict)
+    offchip_bytes: int = 0
+    retired_instructions: int = 0
+
+    @property
+    def pj_per_instruction(self) -> float:
+        return ratio(self.total_pj, self.retired_instructions)
+
+    @property
+    def offchip_bytes_per_kinstr(self) -> float:
+        return ratio(self.offchip_bytes * 1000.0, self.retired_instructions)
+
+
+def energy_report(result: SimResult, model: EnergyModel | None = None) -> EnergyReport:
+    """Estimate energy and off-chip traffic from a run's counters."""
+    m = model if model is not None else EnergyModel()
+    c = result.counters
+
+    def get(name: str) -> int:
+        return c.get(name, 0)
+
+    components = {
+        "l1i": m.l1_access_pj * (
+            get("icache_demand_accesses") + get("fdip_probe_resident")
+            + get("fdip_probe_inflight") + get("fdip_candidates")
+        ),
+        "l1d": m.l1_access_pj * (get("l1d_accesses") + get("l1d_stores")),
+        "l2": m.l2_access_pj * (
+            get("l2_ifetch_hits") + get("l2_data_hits")
+            + get("llc_ifetch_hits") + get("llc_data_hits")
+            + get("dram_ifetch_fills") + get("dram_data_fills")
+        ),
+        "llc": m.llc_access_pj * (
+            get("llc_ifetch_hits") + get("llc_data_hits")
+            + get("dram_ifetch_fills") + get("dram_data_fills")
+        ),
+        "dram": m.dram_access_pj * (
+            get("dram_ifetch_fills") + get("dram_data_fills")
+        ),
+        "btb": m.btb_access_pj * (get("btb_gen_hits") + get("btb_gen_misses")),
+        "udp_filters": m.bloom_lookup_pj * 3 * (
+            get("udp_drop_off_path") + get("udp_emit_off_path")
+        ),
+        "pipeline": m.base_uop_pj * get("dispatched_instructions"),
+    }
+    offchip_lines = get("dram_ifetch_fills") + get("dram_data_fills")
+    return EnergyReport(
+        workload=result.workload,
+        config_name=result.config_name,
+        total_pj=sum(components.values()),
+        per_component_pj=components,
+        offchip_bytes=offchip_lines * LINE_BYTES,
+        retired_instructions=result.retired,
+    )
+
+
+def efficiency_comparison(
+    baseline: SimResult, technique: SimResult, model: EnergyModel | None = None
+) -> dict[str, float]:
+    """The §V-C efficiency deltas of ``technique`` over ``baseline``.
+
+    Negative percentages = the technique reduced the quantity.
+    """
+    base = energy_report(baseline, model)
+    test = energy_report(technique, model)
+    prefetch_delta = ratio(
+        technique["prefetches_emitted"] - baseline["prefetches_emitted"],
+        max(baseline["prefetches_emitted"], 1),
+    )
+    return {
+        "prefetches_emitted_pct": prefetch_delta * 100.0,
+        "offchip_traffic_pct": ratio(
+            test.offchip_bytes_per_kinstr - base.offchip_bytes_per_kinstr,
+            max(base.offchip_bytes_per_kinstr, 1e-9),
+        ) * 100.0,
+        "energy_per_instruction_pct": ratio(
+            test.pj_per_instruction - base.pj_per_instruction,
+            max(base.pj_per_instruction, 1e-9),
+        ) * 100.0,
+        "ipc_pct": ratio(
+            technique.ipc - baseline.ipc, max(baseline.ipc, 1e-9)
+        ) * 100.0,
+    }

@@ -1,0 +1,142 @@
+"""Named configurations for every technique the paper evaluates.
+
+All presets start from the Table II baseline (FDIP with a fixed 32-deep
+FTQ) and change exactly the dimension under test, so cross-technique
+comparisons are ISO everywhere else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.config import (
+    CacheConfig,
+    PrefetcherConfig,
+    SimConfig,
+    UDPConfig,
+    UFTQConfig,
+)
+
+
+def baseline_config(
+    max_instructions: int = 50_000, seed: int = 1, ftq_depth: int = 32
+) -> SimConfig:
+    """The state-of-the-art FDIP baseline (Ishii-style, FTQ=32)."""
+    config = SimConfig(max_instructions=max_instructions, seed=seed)
+    if ftq_depth != config.frontend.ftq_depth:
+        config = config.with_ftq_depth(ftq_depth)
+    return config
+
+
+def perfect_icache_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """Fig 1's upper bound: every L1I access hits."""
+    return baseline_config(max_instructions, seed).with_perfect_icache()
+
+
+def no_prefetch_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """FDIP frontend with prefetching disabled (analysis baseline)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(prefetcher=PrefetcherConfig(kind="none"))
+
+
+def uftq_config(
+    mode: str, max_instructions: int = 50_000, seed: int = 1
+) -> SimConfig:
+    """UFTQ-AUR / UFTQ-ATR / UFTQ-ATR-AUR (Section IV-A)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(uftq=UFTQConfig(mode=mode))
+
+
+def udp_config(
+    max_instructions: int = 50_000,
+    seed: int = 1,
+    ftq_depth: int = 32,
+    infinite_storage: bool = False,
+    **udp_overrides,
+) -> SimConfig:
+    """UDP with the 8KB Bloom-filter useful-set (Section IV-B)."""
+    config = baseline_config(max_instructions, seed, ftq_depth=ftq_depth)
+    udp = UDPConfig(enabled=True, infinite_storage=infinite_storage, **udp_overrides)
+    return config.replace(udp=udp)
+
+
+def infinite_storage_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """UDP's upper bound: an exact, unbounded useful-set (Fig 13)."""
+    return udp_config(max_instructions, seed, infinite_storage=True)
+
+
+def bigger_icache_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """Fig 13's ISO-storage comparator: 40 KiB L1I (32K + 8K budget).
+
+    40 KiB at 10 ways keeps 64 power-of-two sets.
+    """
+    config = baseline_config(max_instructions, seed)
+    l1i = dataclasses.replace(
+        config.memory.l1i, size_bytes=40 * 1024, assoc=10
+    )
+    return config.replace(memory=dataclasses.replace(config.memory, l1i=l1i))
+
+
+def eip_config(
+    max_instructions: int = 50_000,
+    seed: int = 1,
+    storage_bytes: int = 8 * 1024,
+    wrong_path_aware: bool = False,
+) -> SimConfig:
+    """Fig 13's EIP comparator at an ISO 8KB budget (FDIP disabled)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        prefetcher=PrefetcherConfig(
+            kind="eip",
+            eip_storage_bytes=storage_bytes,
+            eip_wrong_path_aware=wrong_path_aware,
+        )
+    )
+
+
+def sw_profile_config(
+    max_instructions: int = 50_000, seed: int = 1, profile_blocks: int = 20_000
+) -> SimConfig:
+    """Profile-guided software prefetching layered on FDIP (related work)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        prefetcher=PrefetcherConfig(kind="sw-profile", sw_profile_blocks=profile_blocks)
+    )
+
+
+def two_level_btb_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """Hierarchical BTB comparator (small L1 BTB + 8K L2 BTB)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        branch=dataclasses.replace(config.branch, btb_levels=2)
+    )
+
+
+def loop_predictor_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """Baseline plus TAGE-SC-L's loop predictor component."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        branch=dataclasses.replace(config.branch, use_loop_predictor=True)
+    )
+
+
+def opt_config(depth: int, max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """The OPT oracle: the per-application optimal fixed FTQ depth."""
+    return baseline_config(max_instructions, seed, ftq_depth=depth)
+
+
+PRESET_BUILDERS = {
+    "baseline": baseline_config,
+    "perfect-icache": perfect_icache_config,
+    "no-prefetch": no_prefetch_config,
+    "uftq-aur": lambda n=50_000, s=1: uftq_config("aur", n, s),
+    "uftq-atr": lambda n=50_000, s=1: uftq_config("atr", n, s),
+    "uftq-atr-aur": lambda n=50_000, s=1: uftq_config("atr-aur", n, s),
+    "udp": udp_config,
+    "infinite-storage": infinite_storage_config,
+    "bigger-icache": bigger_icache_config,
+    "eip": eip_config,
+    "sw-profile": sw_profile_config,
+    "two-level-btb": two_level_btb_config,
+    "loop-predictor": loop_predictor_config,
+}

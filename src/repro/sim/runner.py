@@ -1,0 +1,123 @@
+"""Run drivers: one simulation, per-workload runs, and parameter sweeps.
+
+These are the functions the examples and benchmark harness call.  Programs
+are synthesized (and cached per ``(profile, seed)``) so that sweeping a
+configuration over the suite does not re-pay synthesis costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+
+from repro.common.config import SimConfig
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.program import Program
+from repro.workloads.synth import synthesize
+
+
+@lru_cache(maxsize=32)
+def _cached_program(profile_name: str, seed: int) -> Program:
+    return synthesize(get_profile(profile_name), seed)
+
+
+def program_for(profile: WorkloadProfile | str, seed: int = 1) -> Program:
+    """The (cached) synthetic program for a profile."""
+    name = profile if isinstance(profile, str) else profile.name
+    return _cached_program(name, seed)
+
+
+def run_program(
+    program: Program,
+    config: SimConfig,
+    workload_name: str = "custom",
+    config_name: str = "custom",
+) -> SimResult:
+    """Simulate an explicit program and wrap the result."""
+    simulator = Simulator(program, config)
+    simulator.run()
+    counters = simulator.measured_counters()
+    return SimResult(
+        workload=workload_name,
+        config_name=config_name,
+        counters=counters,
+        avg_ftq_occupancy=simulator.ftq.average_occupancy,
+        final_ftq_depth=simulator.ftq.depth,
+    )
+
+
+def run_workload(
+    profile: WorkloadProfile | str,
+    config: SimConfig,
+    config_name: str = "custom",
+    seed: int = 1,
+) -> SimResult:
+    """Synthesize (cached) and simulate one suite workload.
+
+    Profiles may pin workload-intrinsic core parameters (currently the
+    load-dependence fraction — a property of the code, not of the technique
+    under test); those are applied on top of ``config`` here so that every
+    technique sees the same workload behaviour.
+    """
+    name = profile if isinstance(profile, str) else profile.name
+    prof = get_profile(name)
+    program = program_for(name, seed)
+    if prof.load_dependence_fraction is not None:
+        core = dataclasses.replace(
+            config.core, load_dependence_fraction=prof.load_dependence_fraction
+        )
+        config = config.replace(core=core)
+    simulator = Simulator(program, config, data_profile=prof.data)
+    simulator.run()
+    return SimResult(
+        workload=name,
+        config_name=config_name,
+        counters=simulator.measured_counters(),
+        avg_ftq_occupancy=simulator.ftq.average_occupancy,
+        final_ftq_depth=simulator.ftq.depth,
+    )
+
+
+def sweep_ftq_depths(
+    profile: WorkloadProfile | str,
+    base_config: SimConfig,
+    depths: list[int],
+    seed: int = 1,
+) -> dict[int, SimResult]:
+    """Fixed-FTQ-depth sweep for one workload (Figs 3-6, 8)."""
+    results: dict[int, SimResult] = {}
+    for depth in depths:
+        config = base_config.with_ftq_depth(depth)
+        results[depth] = run_workload(
+            profile, config, config_name=f"ftq{depth}", seed=seed
+        )
+    return results
+
+
+def run_suite(
+    configs: dict[str, SimConfig],
+    workloads: list[str],
+    seed: int = 1,
+) -> dict[str, dict[str, SimResult]]:
+    """Run every (workload, config) pair: result[workload][config_name]."""
+    out: dict[str, dict[str, SimResult]] = {}
+    for workload in workloads:
+        out[workload] = {
+            name: run_workload(workload, config, config_name=name, seed=seed)
+            for name, config in configs.items()
+        }
+    return out
+
+
+def optimal_ftq_depth(
+    profile: WorkloadProfile | str,
+    base_config: SimConfig,
+    depths: list[int],
+    seed: int = 1,
+) -> tuple[int, dict[int, SimResult]]:
+    """Exhaustive-search optimum depth (the paper's OPT oracle, Table III)."""
+    results = sweep_ftq_depths(profile, base_config, depths, seed=seed)
+    best = max(results, key=lambda depth: results[depth].ipc)
+    return best, results

@@ -1,0 +1,465 @@
+"""The cycle-level simulator wiring frontend, backend, and memory.
+
+Per-cycle order (matters for same-cycle interactions; see DESIGN.md §5):
+
+1. **Fills** — completed MSHR entries install lines into the L1I.
+2. **Resteer poll** — a branch resolving this cycle squashes younger work
+   and recovers the frontend *before* retirement can touch it.
+3. **Backend** — retire up to 6, issue ready reservation-station entries.
+4. **Fetch/decode** — FTQ-head blocks demand-access the L1I and dispatch
+   up to 6 instructions; post-fetch correction fires here.
+5. **FDIP** — scan the FTQ ahead of fetch and emit prefetches.
+6. **FTQ generation** — the walker runs ahead, shadowing the oracle.
+7. **Bookkeeping** — occupancy sampling.
+
+The fetch and decode stages are merged (documented approximation): a fetch
+block whose line is ready streams instructions directly into dispatch; the
+L1I hit latency is part of the steady-state pipeline depth, while misses
+stall the stream until the fill arrives.
+"""
+
+from __future__ import annotations
+
+from repro.backend.core import OP_BRANCH, BackendCore
+from repro.branch.unit import BranchPredictionUnit
+from repro.common.config import SimConfig
+from repro.common.counters import Counters
+from repro.common.errors import SimulationError
+from repro.core.udp import UDPFilter
+from repro.core.uftq import UFTQController
+from repro.frontend.bpu import DecoupledFrontend
+from repro.frontend.fdip import FDIPEngine
+from repro.frontend.fetch_block import RESTEER_AT_EXECUTE, FTQEntry, PendingResteer
+from repro.frontend.ftq import FetchTargetQueue
+from repro.memory.cache import CacheLine, SetAssocCache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+from repro.prefetchers.base import InstructionPrefetcher
+from repro.prefetchers.eip import EntangledInstructionPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.workloads.data import DataAddressGenerator
+from repro.workloads.profiles import DataProfile
+from repro.workloads.program import BranchKind, Program
+from repro.workloads.trace import OracleCursor
+
+
+class Simulator:
+    """One configured core running one synthetic program."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: SimConfig,
+        data_profile: DataProfile | None = None,
+    ) -> None:
+        config.validate()
+        self.program = program
+        self.config = config
+        self.counters = Counters()
+        self.cycle = 0
+
+        self.oracle = OracleCursor(program)
+        self.bpu = BranchPredictionUnit(config.branch, self.counters)
+        self.ftq = FetchTargetQueue(
+            config.frontend.ftq_depth, config.frontend.ftq_max_physical
+        )
+        self.udp = UDPFilter(config.udp, self.counters) if config.udp.enabled else None
+        self.frontend = DecoupledFrontend(
+            program,
+            self.bpu,
+            self.ftq,
+            self.oracle,
+            config.frontend,
+            self.counters,
+            path_estimator=self.udp.path_estimator if self.udp is not None else None,
+        )
+        self.hierarchy = MemoryHierarchy(config.memory, self.counters)
+        self.l1i = SetAssocCache(config.memory.l1i)
+        self.l1i.eviction_hook = self._on_l1i_eviction
+        self.mshr = MSHRFile(config.memory.l1i.mshr_entries)
+        self.fdip = FDIPEngine(
+            config.frontend,
+            self.ftq,
+            self.l1i,
+            self.mshr,
+            self.hierarchy,
+            self.counters,
+            gate=self.udp,
+            enabled=(
+                config.prefetcher.kind != "none"
+                and not config.prefetcher.standalone_only
+            ),
+        )
+        self.prefetcher = self._build_standalone_prefetcher()
+
+        self.data_gen = DataAddressGenerator(
+            data_profile if data_profile is not None else DataProfile(), config.seed
+        )
+        self.backend = BackendCore(
+            config.core, self.hierarchy, self.data_gen, self.counters, seed=config.seed
+        )
+        if self.udp is not None:
+            self.backend.retire_hook = self.udp.on_retire
+
+        self.uftq = (
+            UFTQController(config.uftq, self.ftq, self.counters)
+            if config.uftq.mode != "off"
+            else None
+        )
+        self._warmup_baseline: dict[str, int] | None = None
+        self._warmup_cycle = 0
+        self._warmup_retired = 0
+        self._warmed = False
+
+    def _build_standalone_prefetcher(self) -> InstructionPrefetcher | None:
+        kind = self.config.prefetcher.kind
+        if kind == "eip":
+            return EntangledInstructionPrefetcher(
+                storage_bytes=self.config.prefetcher.eip_storage_bytes,
+                targets_per_entry=self.config.prefetcher.eip_entangles_per_entry,
+                wrong_path_aware=self.config.prefetcher.eip_wrong_path_aware,
+            )
+        if kind == "next-line":
+            return NextLinePrefetcher()
+        if kind == "sw-profile":
+            from repro.prefetchers.swprefetch import build_for_program
+
+            return build_for_program(
+                self.program, self.config.prefetcher.sw_profile_blocks
+            )
+        return None
+
+    # -- functional warmup -------------------------------------------------------
+
+    def functional_warmup(self, num_blocks: int) -> None:
+        """Warm microarchitectural state by walking the true path (no timing).
+
+        Mirrors the paper's 50M-instruction warmup at trace speed: the oracle
+        advances ``num_blocks`` basic blocks while the BTB, TAGE, the iBTB,
+        the global history, and the cache hierarchy are trained exactly as a
+        correct-path execution would train them.  Must be called before
+        :meth:`run`; the measured region continues from the warmed program
+        state.
+        """
+        if self.cycle != 0:
+            raise SimulationError("functional warmup must precede run()")
+        self._warmed = True
+        bpu = self.bpu
+        l1i = self.l1i
+        hierarchy = self.hierarchy
+        udp = self.udp
+        warmed_lines: set[int] = set()
+        for _ in range(num_blocks):
+            transition = self.oracle.transition()
+            block = transition.block
+            for line_addr in range(block.addr & ~63, block.end_addr, 64):
+                if not l1i.contains(line_addr):
+                    hierarchy.instruction_miss_latency(line_addr)  # fills L2/LLC
+                l1i.install(line_addr)
+                if udp is not None and line_addr not in warmed_lines:
+                    # Lines that execute on the true path are exactly what the
+                    # Seniority-FTQ would have promoted over a long warmup.
+                    warmed_lines.add(line_addr)
+                    udp.useful_set.insert(line_addr)
+            branch = transition.branch
+            if branch is not None:
+                if branch.kind == BranchKind.COND:
+                    prediction = bpu.tage.predict(branch.pc)
+                    bpu.tage.update(prediction, transition.taken)
+                    bpu.history.push(transition.taken)
+                    bpu.btb.fill(branch.pc, branch.kind, branch.target)
+                elif branch.kind.is_indirect:
+                    bpu.train_indirect(branch.pc, transition.next_pc, branch.kind)
+                elif branch.kind == BranchKind.RET:
+                    bpu.btb.fill(branch.pc, branch.kind, 0)
+                else:
+                    bpu.btb.fill(branch.pc, branch.kind, branch.target)
+            self.oracle.advance(transition)
+        bpu.ras.repair(self.oracle.call_stack)
+        self.frontend.spec_pc = self.oracle.pc
+        # Warmup traffic must not leak into measured statistics.
+        self._warmup_baseline = self.counters.snapshot()
+        self.counters.set("warmup_blocks", num_blocks)
+        self.counters.set("warmup_instructions_functional", self.oracle.instrs_walked)
+
+    # -- top-level run loop ----------------------------------------------------
+
+    def run(self, max_instructions: int | None = None) -> None:
+        """Simulate until the retire target (or the cycle limit) is reached."""
+        target = (
+            max_instructions
+            if max_instructions is not None
+            else self.config.max_instructions
+        )
+        if not self._warmed and self.cycle == 0 and self.config.functional_warmup_blocks > 0:
+            self.functional_warmup(self.config.functional_warmup_blocks)
+        warmup = self.config.warmup_instructions
+        warmup_done = warmup == 0
+        while self.backend.retired_instructions < target:
+            if self.cycle >= self.config.max_cycles:
+                raise SimulationError(
+                    f"cycle limit {self.config.max_cycles} hit at "
+                    f"{self.backend.retired_instructions} retired instructions"
+                )
+            self.step()
+            if not warmup_done and self.backend.retired_instructions >= warmup:
+                self._warmup_baseline = self.counters.snapshot()
+                self._warmup_cycle = self.cycle
+                self._warmup_retired = self.backend.retired_instructions
+                warmup_done = True
+        self.counters.set("cycles", self.cycle)
+        self.counters.set("retired_instructions", self.backend.retired_instructions)
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        cycle = self.cycle
+        self._process_fills(cycle)
+        fired = self.backend.poll_resteer(cycle)
+        if fired is not None:
+            resteer, branch_seq = fired
+            self._resteer(resteer, squash_seq=branch_seq)
+        self.backend.retire_and_issue(cycle)
+        self._fetch_decode(cycle)
+        self.fdip.scan(cycle)
+        self.frontend.generate()
+        self.ftq.sample_occupancy()
+
+    # -- fills ----------------------------------------------------------------------
+
+    def _process_fills(self, cycle: int) -> None:
+        for entry in self.mshr.pop_ready(cycle):
+            keep_prefetch_bit = entry.is_prefetch and not entry.demand_on_path
+            self.l1i.install(
+                entry.line_addr,
+                prefetch=keep_prefetch_bit,
+                prefetch_off_path=entry.off_path,
+                prefetch_udp_candidate=entry.udp_candidate,
+            )
+            self.counters.bump("l1i_fills")
+
+    # -- resteer ---------------------------------------------------------------------
+
+    def _resteer(self, resteer: PendingResteer, squash_seq: int | None) -> None:
+        if squash_seq is not None:
+            self.backend.squash_younger(squash_seq)
+        self.ftq.flush()
+        self.frontend.recover(resteer)
+        self.fdip.reset_scan(self.frontend.next_seq)
+
+    # -- fetch + decode ---------------------------------------------------------------
+
+    def _fetch_decode(self, cycle: int) -> None:
+        budget = self.config.core.frontend_width
+        accesses = 0
+        max_accesses = self.config.frontend.ftq_blocks_per_cycle
+        counters = self.counters
+        while budget > 0:
+            entry = self.ftq.head()
+            if entry is None:
+                counters.bump("fetch_slots_lost_empty_ftq", budget)
+                return
+            if entry.ready_cycle < 0:
+                if self.config.frontend.perfect_icache:
+                    entry.ready_cycle = cycle
+                    counters.bump("icache_demand_accesses")
+                    counters.bump("icache_demand_hits")
+                else:
+                    if accesses >= max_accesses:
+                        return
+                    accesses += 1
+                    self._demand_access(entry, cycle)
+                    if entry.ready_cycle < 0:
+                        counters.bump("fetch_slots_lost_mshr_full", budget)
+                        return
+            if entry.ready_cycle > cycle:
+                counters.bump("fetch_slots_lost_icache", budget)
+                counters.bump("fetch_stall_icache_cycles")
+                return
+            budget = self._dispatch_entry(entry, cycle, budget)
+            if budget < 0:
+                return  # a decode-time resteer flushed the frontend
+            if entry.decode_offset >= entry.num_instrs and self.ftq.head() is entry:
+                self.ftq.pop()
+
+    def _dispatch_entry(self, entry: FTQEntry, cycle: int, budget: int) -> int:
+        """Dispatch instructions from ``entry``; -1 signals a decode resteer."""
+        backend = self.backend
+        counters = self.counters
+        ops = entry.ops
+        while budget > 0 and entry.decode_offset < entry.num_instrs:
+            if not backend.can_dispatch:
+                counters.bump("dispatch_stall_backend_full")
+                return 0
+            offset = entry.decode_offset
+            pc = entry.pc_at(offset)
+            seen = entry.branch_at(pc)
+            on_path = entry.instr_on_path(offset)
+            entry.decode_offset += 1
+            budget -= 1
+            if seen is None:
+                backend.dispatch(pc, ops[offset], on_path, cycle)
+                counters.bump("dispatched_instructions")
+                continue
+
+            counters.bump("dispatched_instructions")
+            branch = seen.branch
+            if not seen.detected:
+                self._decode_btb_fill(branch)
+            resteer = entry.resteer
+            if resteer is not None and resteer.branch_pc == pc:
+                if resteer.stage == RESTEER_AT_EXECUTE:
+                    backend.dispatch(pc, OP_BRANCH, on_path, cycle, resteer=resteer)
+                    continue
+                # Post-fetch correction: the undetected taken branch is
+                # discovered at decode; resteer immediately.
+                backend.dispatch(pc, OP_BRANCH, on_path, cycle)
+                self._resteer(resteer, squash_seq=None)
+                counters.bump("pfc_resteers")
+                return -1
+            backend.dispatch(pc, OP_BRANCH, on_path, cycle)
+            if (
+                not seen.detected
+                and not on_path
+                and branch.kind in (BranchKind.JUMP, BranchKind.CALL)
+                and self.config.frontend.post_fetch_correction
+            ):
+                # Wrong-path PFC: an undetected unconditional branch redirects
+                # the (still wrong-path) frontend to its static target.
+                self.ftq.flush()
+                self.frontend.redirect_wrong_path(branch.target)
+                self.fdip.reset_scan(self.frontend.next_seq)
+                return -1
+        return budget
+
+    def _decode_btb_fill(self, branch) -> None:
+        """Decode-time branch discovery fills the BTB (direct kinds only)."""
+        if branch.kind.is_indirect:
+            return  # indirect targets are only known at execute (train path)
+        target = branch.target if branch.kind != BranchKind.RET else 0
+        self.bpu.fill_btb(branch.pc, branch.kind, target)
+        self.counters.bump("btb_decode_fills")
+
+    # -- the L1I demand path -----------------------------------------------------------
+
+    def _demand_access(self, entry: FTQEntry, cycle: int) -> None:
+        line_addr = entry.line_addr
+        counters = self.counters
+        counters.bump("icache_demand_accesses")
+        line = self.l1i.lookup(line_addr)
+        if line is not None:
+            counters.bump("icache_demand_hits")
+            entry.ready_cycle = cycle
+            if line.prefetch_bit and entry.on_path:
+                line.prefetch_bit = False
+                self._prefetch_useful(line.prefetch_off_path, timely=True)
+                if self.udp is not None and line.prefetch_udp_candidate:
+                    self.udp.on_demand_hit_off_path_prefetch(line_addr)
+            self._standalone_prefetch(line_addr, hit=True, on_path=entry.on_path, cycle=cycle)
+            return
+
+        in_flight = self.mshr.lookup(line_addr)
+        if in_flight is not None:
+            counters.bump("icache_demand_mshr_merges")
+            entry.ready_cycle = in_flight.ready_cycle
+            if in_flight.is_prefetch and entry.on_path and not in_flight.demand_on_path:
+                self._prefetch_useful(in_flight.off_path, timely=False)
+                if self.udp is not None and in_flight.udp_candidate:
+                    self.udp.on_demand_hit_off_path_prefetch(line_addr)
+            in_flight.demand_merged = True
+            if entry.on_path:
+                in_flight.demand_on_path = True
+            return
+
+        counters.bump("icache_demand_misses")
+        if entry.on_path:
+            counters.bump("icache_demand_misses_on_path")
+        else:
+            counters.bump("icache_demand_misses_off_path")
+        if self.uftq is not None and entry.on_path:
+            # A demand miss is the strongest untimeliness signal: no prefetch
+            # arrived at all (feeds UFTQ-ATR alongside prefetch merges).
+            self.uftq.on_timeliness_event(False)
+        if self.mshr.full:
+            counters.bump("icache_mshr_full_stalls")
+            return
+        latency, level = self.hierarchy.instruction_miss_latency(line_addr)
+        self.mshr.allocate(
+            line_addr,
+            ready_cycle=cycle + latency,
+            is_prefetch=False,
+            off_path=not entry.on_path,
+            fill_level=level,
+        )
+        entry.ready_cycle = cycle + latency
+        counters.bump(f"demand_fill_{level}")
+        self._standalone_prefetch(line_addr, hit=False, on_path=entry.on_path, cycle=cycle)
+
+    def _standalone_prefetch(self, line_addr: int, hit: bool, on_path: bool, cycle: int) -> None:
+        if self.prefetcher is None:
+            return
+        for prefetch_line in self.prefetcher.on_demand_access(line_addr, hit, on_path):
+            if self.l1i.contains(prefetch_line) or self.mshr.lookup(prefetch_line):
+                continue
+            if self.mshr.full:
+                break
+            latency, level = self.hierarchy.instruction_miss_latency(prefetch_line)
+            self.mshr.allocate(
+                prefetch_line,
+                ready_cycle=cycle + latency,
+                is_prefetch=True,
+                off_path=not on_path,
+                fill_level=level,
+            )
+            self.counters.bump("prefetches_emitted")
+            if on_path:
+                self.counters.bump("prefetches_emitted_on_path")
+            else:
+                self.counters.bump("prefetches_emitted_off_path")
+
+    # -- utility/timeliness accounting -----------------------------------------------------
+
+    def _prefetch_useful(self, emitted_off_path: bool, timely: bool) -> None:
+        counters = self.counters
+        counters.bump("prefetch_useful")
+        counters.bump(
+            "prefetch_useful_off_path" if emitted_off_path else "prefetch_useful_on_path"
+        )
+        counters.bump("atr_icache_hits" if timely else "atr_mshr_hits")
+        if self.uftq is not None:
+            self.uftq.on_utility_event(True)
+            self.uftq.on_timeliness_event(timely)
+        if self.udp is not None:
+            self.udp.on_prefetch_outcome(True)
+
+    def _on_l1i_eviction(self, victim: CacheLine) -> None:
+        if not victim.prefetch_bit:
+            return
+        counters = self.counters
+        counters.bump("prefetch_useless")
+        counters.bump(
+            "prefetch_useless_off_path"
+            if victim.prefetch_off_path
+            else "prefetch_useless_on_path"
+        )
+        if self.uftq is not None:
+            self.uftq.on_utility_event(False)
+        if self.udp is not None:
+            self.udp.on_prefetch_outcome(False)
+
+    # -- results ---------------------------------------------------------------------------
+
+    def measured_counters(self) -> dict[str, int]:
+        """Counters excluding the warmup region (if one was configured)."""
+        snapshot = self.counters.snapshot()
+        if self._warmup_baseline is None:
+            return snapshot
+        out = {
+            name: value - self._warmup_baseline.get(name, 0)
+            for name, value in snapshot.items()
+        }
+        out["cycles"] = self.cycle - self._warmup_cycle
+        out["retired_instructions"] = (
+            self.backend.retired_instructions - self._warmup_retired
+        )
+        return out

@@ -1,0 +1,76 @@
+"""Synthetic workloads: static programs, branch behaviours, oracle traces."""
+
+from repro.workloads.behavior import (
+    AlwaysTaken,
+    BiasedBehavior,
+    DirectionBehavior,
+    FixedTarget,
+    LoopBehavior,
+    PatternBehavior,
+    PhasedBehavior,
+    RotatingTargets,
+    TargetBehavior,
+    WeightedTargets,
+    ZipfTargets,
+)
+from repro.workloads.builder import Label, ProgramBuilder
+from repro.workloads.data import DataAddressGenerator
+from repro.workloads.profiles import (
+    PAPER_TABLE3,
+    SUITE,
+    SUITE_BY_NAME,
+    DataProfile,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.program import BasicBlock, Branch, BranchKind, Program
+from repro.workloads.phases import make_phased_program, phase_summary
+from repro.workloads.synth import footprint_report, synthesize
+from repro.workloads.tracefile import (
+    TraceRecord,
+    read_trace,
+    record_trace,
+    trace_branch_mix,
+    trace_working_set_curve,
+)
+from repro.workloads.trace import OracleCursor, OracleTransition, run_trace, trace_statistics
+
+__all__ = [
+    "AlwaysTaken",
+    "BiasedBehavior",
+    "DirectionBehavior",
+    "FixedTarget",
+    "LoopBehavior",
+    "PatternBehavior",
+    "PhasedBehavior",
+    "RotatingTargets",
+    "TargetBehavior",
+    "WeightedTargets",
+    "ZipfTargets",
+    "Label",
+    "ProgramBuilder",
+    "DataAddressGenerator",
+    "PAPER_TABLE3",
+    "SUITE",
+    "SUITE_BY_NAME",
+    "DataProfile",
+    "WorkloadProfile",
+    "get_profile",
+    "BasicBlock",
+    "Branch",
+    "BranchKind",
+    "Program",
+    "make_phased_program",
+    "phase_summary",
+    "footprint_report",
+    "TraceRecord",
+    "read_trace",
+    "record_trace",
+    "trace_branch_mix",
+    "trace_working_set_curve",
+    "synthesize",
+    "OracleCursor",
+    "OracleTransition",
+    "run_trace",
+    "trace_statistics",
+]

@@ -1,0 +1,161 @@
+"""Tiny handcrafted programs with fully known control flow.
+
+These are the unit-test fixtures for the oracle, the frontend, and the
+simulator: each program's true dynamic path can be enumerated by hand, so
+tests can assert exact block sequences, branch outcomes, and instruction
+counts.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.behavior import (
+    AlwaysTaken,
+    BiasedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    RotatingTargets,
+)
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.program import Program
+
+
+def straight_loop(body_instrs: int = 8, base: int = 0x1_0000) -> Program:
+    """An infinite loop over one block: ``L: <body>; jmp L``."""
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    b.place(head)
+    b.set_entry()
+    b.block(body_instrs, jump_to=head)
+    return b.finish()
+
+
+def counted_loop(trip_count: int, base: int = 0x1_0000) -> Program:
+    """A loop executing ``trip_count`` iterations, then wrapping via a jump.
+
+    Layout: ``H: body(4); cond(2) -> H (loop); T: tail(3); jmp H``.
+    """
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    b.place(head)
+    b.set_entry()
+    b.block(4)
+    b.cond_branch(2, target=head, behavior=LoopBehavior(trip_count))
+    b.block(3, jump_to=head)
+    return b.finish()
+
+
+def diamond(p_taken: float = 0.5, seed: int = 7, base: int = 0x1_0000) -> Program:
+    """An if/else with a merge point, repeated forever (paper Fig 7).
+
+    ``H: cond -> ELSE; THEN: jmp MERGE; ELSE: (fallthrough); MERGE: jmp H``.
+    """
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    else_lbl = b.label("else")
+    merge = b.label("merge")
+    b.place(head)
+    b.set_entry()
+    b.cond_branch(4, target=else_lbl, behavior=BiasedBehavior(seed, p_taken))
+    b.block(4, jump_to=merge)  # then
+    b.place(else_lbl)
+    b.block(4)  # else, falls through
+    b.place(merge)
+    b.block(4, jump_to=head)
+    return b.finish()
+
+
+def pattern_diamond(pattern: int, length: int, base: int = 0x1_0000) -> Program:
+    """A diamond whose condition repeats a fixed bit pattern (TAGE-learnable)."""
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    else_lbl = b.label("else")
+    merge = b.label("merge")
+    b.place(head)
+    b.set_entry()
+    b.cond_branch(4, target=else_lbl, behavior=PatternBehavior(0, pattern, length))
+    b.block(4, jump_to=merge)
+    b.place(else_lbl)
+    b.block(4)
+    b.place(merge)
+    b.block(4, jump_to=head)
+    return b.finish()
+
+
+def call_return(base: int = 0x1_0000) -> Program:
+    """``H: call F; jmp H``  with  ``F: body; ret``."""
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    func = b.label("func")
+    b.place(head)
+    b.set_entry()
+    b.call(3, target=func)
+    b.block(2, jump_to=head)
+    b.place(func)
+    b.block(6)
+    b.ret(2)
+    return b.finish()
+
+
+def rotating_switch(fanout: int = 3, base: int = 0x1_0000) -> Program:
+    """An indirect jump cycling through ``fanout`` cases, each re-entering."""
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    cases = [b.label(f"case{i}") for i in range(fanout)]
+    b.place(head)
+    b.set_entry()
+    b.indirect(3, targets=list(cases), behavior=RotatingTargets())
+    for label in cases:
+        b.place(label)
+        b.block(4, jump_to=head)
+    return b.finish()
+
+
+def long_straight(num_blocks: int = 64, block_instrs: int = 8,
+                  base: int = 0x1_0000) -> Program:
+    """A long fall-through run ending in a jump back to the start.
+
+    Stresses the sequential-walk path of the frontend (big footprint, no
+    taken branches until the end).
+    """
+    b = ProgramBuilder(base=base)
+    head = b.label("head")
+    b.place(head)
+    b.set_entry()
+    for _ in range(num_blocks - 1):
+        b.block(block_instrs)
+    b.block(block_instrs, jump_to=head)
+    return b.finish()
+
+
+def always_taken_chain(num_hops: int = 8, base: int = 0x1_0000) -> Program:
+    """A chain of unconditional jumps hopping between far-apart blocks."""
+    b = ProgramBuilder(base=base)
+    labels = [b.label(f"hop{i}") for i in range(num_hops)]
+    for i, label in enumerate(labels):
+        b.place(label)
+        if i == 0:
+            b.set_entry()
+        nxt = labels[(i + 1) % num_hops]
+        # Pad with a plain block so hops land on separate cache lines.
+        b.block(8, jump_to=nxt)
+        b.block(8)
+    return b.finish()
+
+
+def mispredicting_loop(base: int = 0x1_0000) -> Program:
+    """A 50/50 conditional inside a loop — maximal misprediction stress."""
+    return diamond(p_taken=0.5, seed=1234, base=base)
+
+
+__all__ = [
+    "straight_loop",
+    "counted_loop",
+    "diamond",
+    "pattern_diamond",
+    "call_return",
+    "rotating_switch",
+    "long_straight",
+    "always_taken_chain",
+    "mispredicting_loop",
+    "AlwaysTaken",
+]

@@ -1,0 +1,322 @@
+"""Per-application synthetic workload profiles.
+
+The paper evaluates 10 frontend-bound datacenter applications (Table I /
+Table III).  We cannot replay the authors' DynamoRIO / Intel-PT traces, so
+each application is modelled by a :class:`WorkloadProfile` tuned to the
+characteristics the paper reports and that the UDP/UFTQ mechanisms respond
+to:
+
+* **instruction footprint** relative to the 32 KiB L1I,
+* **branch predictability** (TAGE-reachable accuracy),
+* **BTB pressure** (static branch count vs. the 8K-entry BTB),
+* **code reuse** (how concentrated the dispatcher's function popularity is),
+* **control-flow shape** (diamond/merge-point density, loops, call depth,
+  indirect-branch fanout).
+
+The marquee extremes from the paper:
+
+* ``verilator`` — enormous straight-line footprint (generated code), very
+  predictable branches, essentially no short-range reuse.  Profits from a
+  very deep FTQ (paper optimum 84) and useful off-path prefetches.
+* ``xgboost`` — a "sea of branches": MB of compiled decision trees whose
+  conditional outcomes are data-dependent (near-random), little reuse, heavy
+  BTB missing.  Deep FTQs hurt (paper optimum 12); most off-path prefetches
+  are harmful.
+* ``clang``/``gcc`` — large footprints with well-predicted branches; they can
+  run far ahead (paper optima 54/60).
+* ``mongodb`` — frequent resteers keep the FTQ drained.
+
+Footprints are scaled down ~4x from the real applications so that short
+simulations (tens of thousands of instructions) exercise the same
+L1I-capacity regime that 10M-instruction SimPoints exercise against real
+hardware-sized working sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """Data-side address-stream characteristics for loads and stores."""
+
+    # Fraction of static loads hitting the (always-resident) stack region.
+    stack_frac: float = 0.55
+    # Fraction streaming through the heap with a fixed stride
+    # (stream-prefetchable).
+    stream_frac: float = 0.30
+    # Remainder: uniform random over the data footprint.
+    data_footprint_bytes: int = 8 * 1024 * 1024
+    stride_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """All knobs consumed by :func:`repro.workloads.synth.synthesize`."""
+
+    name: str
+    description: str = ""
+
+    # -- code footprint ----------------------------------------------------
+    num_functions: int = 128  # top-level functions (dispatcher targets)
+    num_leaf_functions: int = 64  # callees reachable via CALL regions
+    regions_per_function: tuple[int, int] = (6, 14)
+    block_instrs: tuple[int, int] = (3, 10)
+
+    # -- region type mix (weights, need not sum to 1) -----------------------
+    w_straight: float = 0.30
+    w_diamond: float = 0.35
+    w_loop: float = 0.12
+    w_call: float = 0.15
+    w_switch: float = 0.08
+    # Blocks per diamond arm: long arms (compiled decision trees) make the
+    # untaken side a genuinely distinct, rarely-reused code region, which is
+    # what turns wrong-path prefetches into icache pollution.
+    diamond_arm_blocks: tuple[int, int] = (1, 1)
+    # Decision-tree regions: disjoint subtrees per conditional, reconverging
+    # only at the leaves (xgboost's "sea of branches" pathology).
+    w_tree: float = 0.0
+    tree_depth: tuple[int, int] = (3, 5)
+
+    # -- branch predictability ----------------------------------------------
+    # Fraction of conditional branches that are data-dependent coin flips.
+    random_branch_frac: float = 0.10
+    # Taken-probability band for the random branches.
+    random_band: tuple[float, float] = (0.35, 0.65)
+    # Remaining conditionals are biased/pattern: bias strength and noise.
+    bias: float = 0.92
+    # Fraction of biased conditionals biased *taken* (the rest are biased
+    # not-taken).  Straight-line generated code (verilator) is dominated by
+    # not-taken error checks, so its value is near zero.
+    taken_bias_fraction: float = 0.5
+    pattern_frac: float = 0.30
+    pattern_noise: float = 0.02
+    loop_trips: tuple[int, int] = (4, 24)
+
+    # -- indirect control flow ----------------------------------------------
+    switch_fanout: tuple[int, int] = (3, 8)
+    indirect_hot_fraction: float = 0.80
+
+    # -- dispatcher / reuse --------------------------------------------------
+    # "zipf": indirect call over all top-level functions with the given alpha
+    #         (high alpha = concentrated reuse).
+    # "chain": a long unrolled chain of direct calls (verilator-style).
+    dispatcher: str = "zipf"
+    zipf_alpha: float = 1.0
+
+    # -- instruction mix ------------------------------------------------------
+    load_frac: float = 0.24
+    store_frac: float = 0.10
+    data: DataProfile = field(default_factory=DataProfile)
+    # Fraction of instructions (including branches) consuming a recent load's
+    # result.  None keeps the core default; decision-tree code (xgboost) sets
+    # it high — a tree node branches on a just-loaded feature value, which
+    # delays branch resolution and lengthens wrong-path episodes.
+    load_dependence_fraction: float | None = None
+
+    # Stable per-profile seed salt so two profiles with the same master seed
+    # still generate unrelated programs.
+    seed_salt: int = 0
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+MYSQL = _profile(
+    name="mysql",
+    description="OLTP database engine: moderate footprint, good locality",
+    num_functions=110,
+    num_leaf_functions=70,
+    regions_per_function=(6, 12),
+    random_branch_frac=0.07,
+    bias=0.93,
+    zipf_alpha=0.70,
+    seed_salt=101,
+)
+
+POSTGRES = _profile(
+    name="postgres",
+    description="OLTP database engine: moderate footprint, best-predicted branches",
+    num_functions=100,
+    num_leaf_functions=70,
+    regions_per_function=(6, 12),
+    random_branch_frac=0.05,
+    bias=0.95,
+    pattern_noise=0.01,
+    zipf_alpha=0.75,
+    seed_salt=102,
+)
+
+CLANG = _profile(
+    name="clang",
+    description="Compiler frontend: large footprint, predictable, runs far ahead",
+    num_functions=300,
+    num_leaf_functions=160,
+    regions_per_function=(8, 16),
+    random_branch_frac=0.05,
+    bias=0.94,
+    pattern_noise=0.015,
+    w_loop=0.16,
+    zipf_alpha=0.45,
+    seed_salt=103,
+)
+
+GCC = _profile(
+    name="gcc",
+    description="Compiler: largest tool footprint, predictable, deep-FTQ friendly",
+    num_functions=340,
+    num_leaf_functions=180,
+    regions_per_function=(8, 16),
+    random_branch_frac=0.06,
+    bias=0.94,
+    w_loop=0.15,
+    zipf_alpha=0.40,
+    seed_salt=104,
+)
+
+DRUPAL = _profile(
+    name="drupal",
+    description="PHP web application: mid footprint, mixed predictability",
+    num_functions=150,
+    num_leaf_functions=90,
+    random_branch_frac=0.12,
+    bias=0.90,
+    pattern_noise=0.04,
+    w_switch=0.12,
+    indirect_hot_fraction=0.70,
+    zipf_alpha=0.60,
+    seed_salt=105,
+)
+
+VERILATOR = _profile(
+    name="verilator",
+    description="Generated RTL simulation code: huge straight-line footprint, "
+    "near-perfect branches, no short-range reuse",
+    num_functions=700,
+    num_leaf_functions=40,
+    regions_per_function=(10, 18),
+    block_instrs=(6, 14),
+    w_straight=0.72,
+    w_diamond=0.18,
+    w_loop=0.02,
+    w_call=0.04,
+    w_switch=0.04,
+    random_branch_frac=0.01,
+    bias=0.985,
+    taken_bias_fraction=0.06,
+    pattern_frac=0.10,
+    pattern_noise=0.005,
+    dispatcher="chain",
+    load_frac=0.20,
+    store_frac=0.12,
+    seed_salt=106,
+)
+
+MONGODB = _profile(
+    name="mongodb",
+    description="Document database: large footprint with frequent resteers",
+    num_functions=220,
+    num_leaf_functions=130,
+    random_branch_frac=0.16,
+    random_band=(0.30, 0.70),
+    bias=0.88,
+    pattern_noise=0.05,
+    w_switch=0.11,
+    indirect_hot_fraction=0.60,
+    zipf_alpha=0.50,
+    seed_salt=107,
+)
+
+TOMCAT = _profile(
+    name="tomcat",
+    description="Java application server: mid footprint, virtual-dispatch heavy",
+    num_functions=160,
+    num_leaf_functions=100,
+    random_branch_frac=0.10,
+    bias=0.91,
+    w_switch=0.14,
+    switch_fanout=(4, 10),
+    indirect_hot_fraction=0.65,
+    zipf_alpha=0.60,
+    seed_salt=108,
+)
+
+XGBOOST = _profile(
+    name="xgboost",
+    description="Compiled decision trees: a sea of unpredictable branches, "
+    "little reuse, pathological for deep FTQs",
+    num_functions=260,
+    num_leaf_functions=20,
+    regions_per_function=(5, 10),
+    diamond_arm_blocks=(2, 4),
+    w_straight=0.06,
+    w_diamond=0.20,
+    w_loop=0.02,
+    w_call=0.04,
+    w_switch=0.04,
+    w_tree=0.64,
+    tree_depth=(3, 5),
+    random_branch_frac=0.75,
+    random_band=(0.35, 0.65),
+    bias=0.80,
+    pattern_noise=0.10,
+    block_instrs=(2, 6),
+    zipf_alpha=0.05,
+    load_frac=0.30,
+    load_dependence_fraction=0.55,
+    seed_salt=109,
+)
+
+MEDIAWIKI = _profile(
+    name="mediawiki",
+    description="PHP wiki engine: smallest footprint, good reuse",
+    num_functions=90,
+    num_leaf_functions=60,
+    regions_per_function=(5, 10),
+    random_branch_frac=0.10,
+    bias=0.90,
+    pattern_noise=0.03,
+    zipf_alpha=0.85,
+    seed_salt=110,
+)
+
+SUITE: tuple[WorkloadProfile, ...] = (
+    MYSQL,
+    POSTGRES,
+    CLANG,
+    GCC,
+    DRUPAL,
+    VERILATOR,
+    MONGODB,
+    TOMCAT,
+    XGBOOST,
+    MEDIAWIKI,
+)
+
+SUITE_BY_NAME: dict[str, WorkloadProfile] = {p.name: p for p in SUITE}
+
+# The paper's Table III (optimal FTQ size, utility ratio, timeliness ratio) —
+# the reference our reproduction is compared against in EXPERIMENTS.md.
+PAPER_TABLE3: dict[str, tuple[int, float, float]] = {
+    "mysql": (22, 0.77, 0.93),
+    "postgres": (22, 0.85, 0.96),
+    "clang": (54, 0.79, 0.95),
+    "gcc": (60, 0.72, 0.93),
+    "drupal": (28, 0.64, 0.85),
+    "verilator": (84, 0.64, 0.46),
+    "mongodb": (38, 0.69, 0.85),
+    "tomcat": (24, 0.69, 0.82),
+    "xgboost": (12, 0.30, 0.31),
+    "mediawiki": (18, 0.62, 0.83),
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a suite profile by application name."""
+    try:
+        return SUITE_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(SUITE_BY_NAME))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

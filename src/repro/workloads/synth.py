@@ -1,0 +1,266 @@
+"""Synthesizes a :class:`~repro.workloads.program.Program` from a profile.
+
+Layout::
+
+    +--------------------+  <- base (program entry)
+    | dispatcher         |  zipf-weighted indirect call over all functions,
+    |                    |  or a verilator-style chain of direct calls
+    +--------------------+
+    | function 0         |  regions: straight / diamond / loop / call / switch
+    | function 1         |
+    | ...                |
+    +--------------------+
+    | leaf function 0    |  callees of CALL regions (no further calls)
+    | ...                |
+    +--------------------+
+
+Every structural choice (region types, block sizes, branch behaviours) is
+drawn from named deterministic RNG streams, so ``synthesize(profile, seed)``
+is a pure function.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.rng import RngPool, derive_seed
+from repro.workloads.behavior import (
+    BiasedBehavior,
+    DirectionBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    WeightedTargets,
+    ZipfTargets,
+)
+from repro.workloads.builder import Label, ProgramBuilder, make_ops
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.program import Program
+
+_REGION_TYPES = ("straight", "diamond", "loop", "call", "switch", "tree")
+
+
+class _Synth:
+    """One synthesis run (profile + seed)."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int) -> None:
+        self.profile = profile
+        self.pool = RngPool(derive_seed(seed, f"workload:{profile.name}:{profile.seed_salt}"))
+        self.builder = ProgramBuilder(base=0x4_0000)
+        self.struct_rng = self.pool.stream("structure")
+        self.ops_rng = self.pool.stream("ops")
+        self.behavior_seq = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def _behavior_seed(self) -> int:
+        self.behavior_seq += 1
+        return derive_seed(self.pool.master_seed, f"behavior:{self.behavior_seq}")
+
+    def _block_size(self) -> int:
+        lo, hi = self.profile.block_instrs
+        return self.struct_rng.randint(lo, hi)
+
+    def _ops(self, num_instrs: int, has_branch: bool) -> bytes:
+        ops = make_ops(
+            num_instrs, self.ops_rng, self.profile.load_frac, self.profile.store_frac
+        )
+        if has_branch and num_instrs > 0:
+            # The final slot is the branch instruction itself.
+            ops = ops[:-1] + b"\x00"
+        return ops
+
+    def _plain_block(self, jump_to: Label | int | None = None) -> None:
+        n = self._block_size()
+        self.builder.block(n, ops=self._ops(n, jump_to is not None), jump_to=jump_to)
+
+    def _cond_behavior(self) -> DirectionBehavior:
+        """Draw a conditional-branch behaviour from the profile's mix."""
+        p = self.profile
+        rng = self.struct_rng
+        seed = self._behavior_seed()
+        u = rng.random()
+        if u < p.random_branch_frac:
+            lo, hi = p.random_band
+            return BiasedBehavior(seed, rng.uniform(lo, hi))
+        if u < p.random_branch_frac + (1.0 - p.random_branch_frac) * p.pattern_frac:
+            length = rng.randint(4, 12)
+            pattern = rng.getrandbits(length) or 1
+            return PatternBehavior(seed, pattern, length, noise=p.pattern_noise)
+        # Biased branch; the profile's taken-bias fraction selects the side.
+        p_taken = p.bias if rng.random() < p.taken_bias_fraction else 1.0 - p.bias
+        return BiasedBehavior(seed, p_taken)
+
+    # -- regions -------------------------------------------------------------
+
+    def _region_weights(self, allow_calls: bool) -> list[float]:
+        p = self.profile
+        weights = [p.w_straight, p.w_diamond, p.w_loop, p.w_call, p.w_switch, p.w_tree]
+        if not allow_calls:
+            weights[3] = 0.0
+        return weights
+
+    def _emit_region(self, kind: str, callees: list[Label]) -> None:
+        if kind == "straight":
+            self._plain_block()
+        elif kind == "diamond":
+            self._emit_diamond()
+        elif kind == "loop":
+            self._emit_loop()
+        elif kind == "call":
+            self._emit_call(callees)
+        elif kind == "switch":
+            self._emit_switch()
+        elif kind == "tree":
+            self._emit_tree()
+        else:  # pragma: no cover - guarded by _REGION_TYPES
+            raise AssertionError(kind)
+
+    def _emit_diamond(self) -> None:
+        """if/else with a merge point (the paper's Fig 7 structure)."""
+        b = self.builder
+        else_lbl = b.label("else")
+        merge = b.label("merge")
+        n = self._block_size()
+        b.cond_branch(n, target=else_lbl, behavior=self._cond_behavior(),
+                      ops=self._ops(n, True))
+        lo, hi = self.profile.diamond_arm_blocks
+        then_blocks = self.struct_rng.randint(lo, hi)
+        else_blocks = self.struct_rng.randint(lo, hi)
+        for _ in range(then_blocks - 1):
+            self._plain_block()
+        self._plain_block(jump_to=merge)  # then side ends jumping over else
+        b.place(else_lbl)
+        for _ in range(else_blocks):
+            self._plain_block()  # else side falls through to merge
+        b.place(merge)
+        self._plain_block()  # merge-point code (useful off-path prefetch target)
+
+    def _emit_loop(self) -> None:
+        b = self.builder
+        head = b.label("loop")
+        b.place(head)
+        self._plain_block()
+        lo, hi = self.profile.loop_trips
+        trip = self.struct_rng.randint(lo, hi)
+        n = self._block_size()
+        b.cond_branch(n, target=head, behavior=LoopBehavior(trip),
+                      ops=self._ops(n, True))
+
+    def _emit_call(self, callees: list[Label]) -> None:
+        target = self.struct_rng.choice(callees)
+        n = self._block_size()
+        self.builder.call(n, target=target, ops=self._ops(n, True))
+
+    def _emit_switch(self) -> None:
+        b = self.builder
+        lo, hi = self.profile.switch_fanout
+        fanout = self.struct_rng.randint(lo, hi)
+        merge = b.label("switch_merge")
+        cases = [b.label(f"case{i}") for i in range(fanout)]
+        behavior = WeightedTargets(
+            self._behavior_seed(), self.profile.indirect_hot_fraction
+        )
+        n = self._block_size()
+        b.indirect(n, targets=list(cases), behavior=behavior, ops=self._ops(n, True))
+        for case in cases:
+            b.place(case)
+            self._plain_block(jump_to=merge)
+        b.place(merge)
+        self._plain_block()
+
+    def _emit_tree(self) -> None:
+        """A compiled decision tree: disjoint subtrees, late reconvergence.
+
+        Every inner node is a conditional whose two sides lead into entirely
+        separate subtrees; paths only merge at the leaves' jump to the
+        continuation.  A mispredicted node therefore strands the wrong-path
+        walker in code that will (almost) never execute — the xgboost
+        pathology of Section III-E.
+        """
+        b = self.builder
+        lo, hi = self.profile.tree_depth
+        depth = self.struct_rng.randint(lo, hi)
+        continuation = b.label("tree_done")
+
+        def emit_node(levels_left: int) -> None:
+            if levels_left == 0:
+                n = self.struct_rng.randint(2, 4)
+                b.block(n, ops=self._ops(n, True), jump_to=continuation)
+                return
+            right = b.label("tree_r")
+            n = self._block_size()
+            b.cond_branch(n, target=right, behavior=self._cond_behavior(),
+                          ops=self._ops(n, True))
+            emit_node(levels_left - 1)  # left subtree (fallthrough)
+            b.place(right)
+            emit_node(levels_left - 1)  # right subtree
+
+        emit_node(depth)
+        b.place(continuation)
+        self._plain_block()
+
+    # -- functions ----------------------------------------------------------
+
+    def _emit_function(self, callees: list[Label]) -> None:
+        lo, hi = self.profile.regions_per_function
+        num_regions = self.struct_rng.randint(lo, hi)
+        weights = self._region_weights(allow_calls=bool(callees))
+        kinds = self.struct_rng.choices(_REGION_TYPES, weights=weights, k=num_regions)
+        for kind in kinds:
+            self._emit_region(kind, callees)
+        n = self._block_size()
+        self.builder.ret(n, ops=self._ops(n, True))
+
+    def _emit_dispatcher(self, functions: list[Label]) -> None:
+        b = self.builder
+        p = self.profile
+        head = b.label("dispatch")
+        b.place(head)
+        b.set_entry()
+        if p.dispatcher == "chain":
+            # verilator-style: one long unrolled pass over every function.
+            for target in functions:
+                n = self.struct_rng.randint(2, 4)
+                b.call(n, target=target, ops=self._ops(n, True))
+            b.block(2, jump_to=head)
+        else:
+            behavior = ZipfTargets(self._behavior_seed(), p.zipf_alpha)
+            n = self._block_size()
+            b.indirect(
+                n,
+                targets=list(functions),
+                behavior=behavior,
+                call=True,
+                ops=self._ops(n, True),
+            )
+            b.block(2, jump_to=head)
+
+    def run(self) -> Program:
+        b = self.builder
+        top = [b.label(f"f{i}") for i in range(self.profile.num_functions)]
+        leaves = [b.label(f"leaf{i}") for i in range(self.profile.num_leaf_functions)]
+        self._emit_dispatcher(top)
+        for label in top:
+            b.place(label)
+            self._emit_function(callees=leaves)
+        for label in leaves:
+            b.place(label)
+            self._emit_function(callees=[])
+        return b.finish()
+
+
+def synthesize(profile: WorkloadProfile, seed: int = 1) -> Program:
+    """Build the deterministic synthetic program for ``(profile, seed)``."""
+    return _Synth(profile, seed).run()
+
+
+def footprint_report(program: Program) -> dict[str, float]:
+    """Summary statistics used by tests and DESIGN.md sanity tables."""
+    hist = program.branch_kind_histogram()
+    return {
+        "footprint_kib": program.footprint_bytes / 1024.0,
+        "blocks": float(program.num_blocks),
+        "branches": float(program.num_branches),
+        "branch_density": program.num_branches / max(program.num_blocks, 1),
+        **{f"kind_{k.name.lower()}": float(v) for k, v in hist.items()},
+    }

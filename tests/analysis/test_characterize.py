@@ -1,0 +1,55 @@
+"""Workload characterization (Table I equivalent)."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    WorkloadCharacter,
+    characterization_table,
+    characterize_suite,
+    validate_characteristics,
+)
+
+
+@pytest.fixture(scope="module")
+def characters():
+    return characterize_suite(
+        ["mediawiki", "xgboost", "verilator", "gcc"], instructions=4_000
+    )
+
+
+def test_measure_fields(characters):
+    c = characters["mediawiki"]
+    assert c.footprint_kib > 32
+    assert c.touched_kib > 0
+    assert c.ipc > 0
+
+
+def test_table_rendering(characters):
+    table = characterization_table(characters)
+    assert "Table I" in table
+    for name in characters:
+        assert name in table
+
+
+def test_validation_passes_on_real_suite(characters):
+    problems = validate_characteristics(characters)
+    assert problems == [], problems
+
+
+def test_validation_catches_violations():
+    fake = {
+        "verilator": WorkloadCharacter("verilator", 40, 10, 1, 0.9, 1, 1, 1.0),
+        "gcc": WorkloadCharacter("gcc", 400, 60, 5, 0.8, 10, 3, 0.9),
+    }
+    problems = validate_characteristics(fake)
+    assert any("verilator" in p for p in problems)
+
+
+def test_validation_catches_tiny_footprint():
+    fake = {"x": WorkloadCharacter("x", 8, 4, 1, 0.9, 1, 1, 1.0)}
+    assert any("32KiB" in p for p in validate_characteristics(fake))
+
+
+def test_validation_catches_implausible_ipc():
+    fake = {"x": WorkloadCharacter("x", 64, 40, 1, 0.9, 1, 1, 9.5)}
+    assert any("IPC" in p for p in validate_characteristics(fake))

@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "xgboost" in out and "verilator" in out
+
+
+def test_list_configs(capsys):
+    assert main(["list-configs"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "udp" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "-w", "mediawiki", "-c", "baseline", "-n", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+    assert "mediawiki / baseline" in out
+
+
+def test_run_with_counters(capsys):
+    assert main(["run", "-w", "mediawiki", "-c", "baseline", "-n", "2500",
+                 "--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "retired_instructions" in out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "-w", "mediawiki", "-c", "baseline,perfect-icache",
+        "-n", "2500",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "perfect-icache IPC" in out
+    assert "%" in out
+
+
+def test_figure_fig1(capsys):
+    assert main(["figure", "fig1", "-w", "mediawiki", "-n", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "perfect icache" in out
+
+
+def test_figure_table3(capsys):
+    assert main(["figure", "table3", "-w", "mediawiki", "-n", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "optimal FTQ" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_file = tmp_path / "t.jsonl"
+    assert main(["trace", "-w", "mediawiki", "--blocks", "100",
+                 "-o", str(out_file)]) == 0
+    assert out_file.exists()
+    assert "wrote 100 blocks" in capsys.readouterr().out
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-c", "nonsense"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_characterize_command(capsys):
+    assert main(["characterize", "-w", "mediawiki", "-n", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_reuse_command(capsys):
+    assert main(["reuse", "-w", "mediawiki", "--blocks", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "32KiB L1I" in out
+    assert "miss rate" in out
+
+
+def test_report_command(tmp_path, capsys):
+    out_file = tmp_path / "r.md"
+    assert main([
+        "report", "-o", str(out_file), "-w", "mediawiki",
+        "--sweep-workloads", "mediawiki", "-n", "2000",
+    ]) == 0
+    assert out_file.exists()
+    assert out_file.read_text().startswith("# EXPERIMENTS")

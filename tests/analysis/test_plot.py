@@ -1,0 +1,52 @@
+"""ASCII chart rendering."""
+
+from repro.analysis.plot import ascii_chart, chart_experiment, sparkline
+
+
+def test_sparkline_levels():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    assert sparkline([2.0, 2.0, 2.0]) == "▄▄▄"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_ascii_chart_contains_markers_and_legend():
+    out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+                      width=30, height=8)
+    assert "*" in out and "o" in out
+    assert "* a" in out and "o b" in out
+
+
+def test_ascii_chart_axis_labels():
+    out = ascii_chart([10, 90], {"s": [0.5, 2.5]}, width=20, height=5,
+                      title="T")
+    assert out.splitlines()[0] == "T"
+    assert "2.5" in out and "0.5" in out
+    assert "10" in out and "90" in out
+
+
+def test_ascii_chart_no_data():
+    assert ascii_chart([], {}) == "(no data)"
+
+
+def test_chart_experiment():
+    result = {
+        "experiment": "fig3",
+        "depths": [8, 16, 32],
+        "speedup_pct": {"mysql": [-5.0, -2.0, 0.0]},
+    }
+    out = chart_experiment(result, "speedup_pct")
+    assert "fig3" in out
+    assert "mysql" in out
+
+
+def test_chart_experiment_missing_series():
+    assert "no chartable" in chart_experiment({"depths": [1]}, "nope")

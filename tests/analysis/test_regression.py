@@ -1,0 +1,54 @@
+"""Regression re-fit recovers known coefficients."""
+
+import pytest
+
+from repro.analysis.regression import fit_regression, training_rows
+from repro.core.uftq import regression_depth
+from repro.sim.metrics import SimResult
+
+
+def test_fit_recovers_synthetic_coefficients():
+    truth = (-0.3, 0.6, 0.01, 0.02, -0.005)
+    rows = []
+    for qd_aur in (8, 16, 24, 32, 48, 64):
+        for qd_atr in (8, 24, 48, 96):
+            rows.append((qd_aur, qd_atr, regression_depth(qd_aur, qd_atr, truth)))
+    fitted = fit_regression(rows)
+    for a, b in zip(fitted, truth):
+        assert abs(a - b) < 1e-6
+
+
+def test_fit_requires_enough_samples():
+    with pytest.raises(ValueError):
+        fit_regression([(1.0, 1.0, 1.0)] * 3)
+
+
+def _result(utility, timeliness, ipc):
+    return SimResult(
+        "w",
+        "c",
+        counters={
+            "cycles": 1000,
+            "retired_instructions": int(ipc * 1000),
+            "prefetch_useful": int(utility * 100),
+            "prefetch_useless": int((1 - utility) * 100),
+            "atr_icache_hits": int(timeliness * 100),
+            "atr_mshr_hits": int((1 - timeliness) * 100),
+        },
+    )
+
+
+def test_training_rows_structure():
+    sweep = {
+        "app": {
+            8: _result(0.9, 0.5, 1.0),
+            16: _result(0.8, 0.7, 1.2),
+            32: _result(0.6, 0.8, 1.1),
+        }
+    }
+    rows = training_rows(sweep, target_aur=0.65, target_atr=0.75)
+    assert len(rows) == 1
+    qd_aur, qd_atr, optimal = rows[0]
+    assert qd_aur == 16  # deepest depth still meeting the utility target
+    assert qd_atr == 32  # shallowest depth meeting the timeliness target
+    assert optimal == 16  # IPC-optimal depth

@@ -1,0 +1,44 @@
+"""Markdown report generation (tiny scale)."""
+
+import pytest
+
+from repro.analysis.report import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(
+        workloads=["mediawiki"],
+        instructions=2_500,
+        sweep_workloads=["mediawiki"],
+    )
+
+
+def test_report_has_all_sections(report_text):
+    for heading in (
+        "Fig 1", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 8",
+        "Table III", "Fig 11", "Fig 12", "Fig 13", "Fig 14", "Fig 15",
+        "Fig 16", "Fig 17",
+    ):
+        assert heading in report_text, f"missing section {heading}"
+
+
+def test_report_cites_paper_numbers(report_text):
+    assert "+16.1%" in report_text  # UDP headline
+    assert "+37.2%" in report_text  # UFTQ headline
+
+
+def test_report_contains_measured_tables(report_text):
+    assert "mediawiki" in report_text
+    assert "```" in report_text
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "r.md"
+    write_report(
+        str(path),
+        workloads=["mediawiki"],
+        instructions=2_000,
+        sweep_workloads=["mediawiki"],
+    )
+    assert path.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,53 @@
+"""Speedup arithmetic."""
+
+import math
+
+from repro.analysis.speedup import pct, pearson, speedups_over, summarize_speedups
+from repro.sim.metrics import SimResult
+
+
+def make_result(ipc):
+    return SimResult("w", "c", counters={"cycles": 1000,
+                                         "retired_instructions": int(ipc * 1000)})
+
+
+def test_pct():
+    assert abs(pct(1.036) - 3.6) < 1e-9
+    assert pct(1.0) == 0.0
+    assert pct(0.9) < 0
+
+
+def test_speedups_over():
+    results = {"a": make_result(2.0)}
+    baselines = {"a": make_result(1.0)}
+    assert speedups_over(results, baselines)["a"] == 2.0
+
+
+def test_summarize():
+    summary = summarize_speedups({"a": 1.1, "b": 0.9})
+    assert abs(summary["max_pct"] - 10.0) < 1e-9
+    assert abs(summary["min_pct"] - -10.0) < 1e-6
+    assert abs(summary["geomean_pct"] - (math.sqrt(1.1 * 0.9) - 1) * 100) < 1e-9
+
+
+def test_summarize_empty():
+    assert summarize_speedups({}) == {"max_pct": 0.0, "min_pct": 0.0,
+                                      "geomean_pct": 0.0}
+
+
+def test_pearson_perfect_positive():
+    assert abs(pearson([1, 2, 3], [2, 4, 6]) - 1.0) < 1e-12
+
+
+def test_pearson_perfect_negative():
+    assert abs(pearson([1, 2, 3], [3, 2, 1]) + 1.0) < 1e-12
+
+
+def test_pearson_uncorrelated_constant():
+    assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+
+def test_pearson_degenerate_inputs():
+    assert pearson([], []) == 0.0
+    assert pearson([1], [1]) == 0.0
+    assert pearson([1, 2], [1]) == 0.0

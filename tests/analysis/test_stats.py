@@ -1,0 +1,46 @@
+"""Multi-seed statistics."""
+
+import pytest
+
+from repro.analysis.stats import SpeedupStats, multi_seed_speedup
+from repro.sim.presets import baseline_config, perfect_icache_config
+
+
+def test_stats_mean_and_ci():
+    stats = SpeedupStats("w", [1.0, 1.1, 1.2])
+    assert abs(stats.mean - 1.1) < 1e-12
+    lo, hi = stats.ci95
+    assert lo < 1.1 < hi
+
+
+def test_stats_single_sample():
+    stats = SpeedupStats("w", [1.05])
+    assert stats.stdev == 0.0
+    assert stats.ci95 == (1.05, 1.05)
+
+
+def test_consistent_sign():
+    assert SpeedupStats("w", [1.01, 1.2]).consistent_sign()
+    assert SpeedupStats("w", [0.9, 0.99]).consistent_sign()
+    assert not SpeedupStats("w", [0.9, 1.1]).consistent_sign()
+
+
+def test_mean_pct():
+    assert abs(SpeedupStats("w", [1.05, 1.15]).mean_pct - 10.0) < 1e-9
+
+
+def test_multi_seed_requires_seeds():
+    with pytest.raises(ValueError):
+        multi_seed_speedup("mediawiki", baseline_config(1000),
+                           baseline_config(1000), [])
+
+
+def test_multi_seed_perfect_icache_always_wins():
+    stats = multi_seed_speedup(
+        "mediawiki",
+        baseline_config(3_000),
+        perfect_icache_config(3_000),
+        seeds=[1, 2],
+    )
+    assert len(stats.ratios) == 2
+    assert stats.mean >= 0.97

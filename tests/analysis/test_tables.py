@@ -1,0 +1,35 @@
+"""ASCII table rendering."""
+
+from repro.analysis.tables import format_series, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bbbb"], [[1, 2.5], ["xx", 3.25]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "2.500" in out
+    assert "3.250" in out
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_table_wide_cells():
+    out = format_table(["x"], [["longvalue"]])
+    header, rule, row = out.splitlines()
+    assert len(rule) >= len("longvalue")
+
+
+def test_format_series():
+    out = format_series("depth", [8, 16], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+    assert "depth" in out
+    assert "1.000" in out and "4.000" in out
+    assert len(out.splitlines()) == 4
+
+
+def test_format_series_title():
+    out = format_series("x", [1], {"s": [0.5]}, title="Fig N")
+    assert out.splitlines()[0] == "Fig N"

@@ -1,0 +1,48 @@
+"""Bimodal base predictor."""
+
+from repro.branch.bimodal import BimodalPredictor
+
+
+def test_initial_prediction_weakly_taken():
+    predictor = BimodalPredictor(table_bits=8)
+    assert predictor.predict(0x1000)
+    assert predictor.counter(0x1000) == 2
+
+
+def test_learns_not_taken():
+    predictor = BimodalPredictor(table_bits=8)
+    for _ in range(3):
+        predictor.update(0x1000, False)
+    assert not predictor.predict(0x1000)
+    assert predictor.counter(0x1000) == 0
+
+
+def test_saturates_high():
+    predictor = BimodalPredictor(table_bits=8)
+    for _ in range(10):
+        predictor.update(0x1000, True)
+    assert predictor.counter(0x1000) == 3
+
+
+def test_saturates_low():
+    predictor = BimodalPredictor(table_bits=8)
+    for _ in range(10):
+        predictor.update(0x1000, False)
+    assert predictor.counter(0x1000) == 0
+
+
+def test_hysteresis():
+    predictor = BimodalPredictor(table_bits=8)
+    for _ in range(5):
+        predictor.update(0x1000, True)
+    predictor.update(0x1000, False)  # one not-taken from saturation
+    assert predictor.predict(0x1000)  # still predicts taken
+
+
+def test_aliasing_by_index():
+    predictor = BimodalPredictor(table_bits=4)  # tiny: 16 entries
+    # Same index (pc >> 2 mod 16): 0x1000 and 0x1000 + 16*4 alias.
+    predictor.update(0x1000, False)
+    predictor.update(0x1000, False)
+    predictor.update(0x1000, False)
+    assert not predictor.predict(0x1000 + 64)

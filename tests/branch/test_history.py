@@ -1,0 +1,85 @@
+"""Global history and folded-history invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.history import FoldedHistory, GlobalHistory
+
+
+def _naive_fold(bits: int, length: int, width: int) -> int:
+    """Reference folding: XOR of width-sized chunks of the low `length` bits."""
+    value = bits & ((1 << length) - 1)
+    folded = 0
+    while value:
+        folded ^= value & ((1 << width) - 1)
+        value >>= width
+    return folded
+
+
+@given(st.lists(st.booleans(), min_size=0, max_size=300))
+def test_folded_history_matches_naive(outcomes):
+    length, width = 17, 5
+    history = GlobalHistory(64, [(length, width)])
+    for taken in outcomes:
+        history.push(taken)
+    assert history.folded[0].folded == _naive_fold(history.bits, length, width)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_multiple_foldings_independent(outcomes):
+    foldings = [(8, 4), (23, 9), (40, 10)]
+    history = GlobalHistory(64, foldings)
+    for taken in outcomes:
+        history.push(taken)
+    for i, (length, width) in enumerate(foldings):
+        assert history.folded[i].folded == _naive_fold(history.bits, length, width)
+
+
+def test_low_bits():
+    history = GlobalHistory(16, [])
+    for taken in (True, False, True, True):
+        history.push(taken)
+    # Pushed oldest-to-newest T,F,T,T; shifting left each push yields 0b1011.
+    assert history.low_bits(4) == 0b1011
+    assert history.low_bits(2) == 0b11
+
+
+def test_history_truncated_to_max_length():
+    history = GlobalHistory(8, [])
+    for _ in range(20):
+        history.push(True)
+    assert history.bits == 0xFF
+
+
+def test_checkpoint_restore_roundtrip():
+    history = GlobalHistory(32, [(10, 5), (20, 7)])
+    for i in range(25):
+        history.push(i % 3 == 0)
+    state = history.checkpoint()
+    folded_before = [f.folded for f in history.folded]
+    for _ in range(10):
+        history.push(True)
+    history.restore(state)
+    assert history.checkpoint() == state
+    assert [f.folded for f in history.folded] == folded_before
+
+
+def test_restore_then_divergent_future():
+    """After restore, pushing different outcomes produces a different history."""
+    history = GlobalHistory(32, [(16, 6)])
+    for _ in range(16):
+        history.push(True)
+    state = history.checkpoint()
+    history.push(True)
+    with_true = history.checkpoint()
+    history.restore(state)
+    history.push(False)
+    assert history.checkpoint() != with_true
+
+
+def test_folded_width_bound():
+    folded = FoldedHistory(19, 6)
+    history = GlobalHistory(32, [(19, 6)])
+    for i in range(100):
+        history.push(i % 2 == 0)
+        assert history.folded[0].folded < (1 << 6)

@@ -1,0 +1,90 @@
+"""Loop predictor (TAGE-SC-L's L component)."""
+
+import pytest
+
+from repro.branch.loop_predictor import LoopPredictor
+from repro.branch.unit import BranchPredictionUnit
+from repro.common.config import BranchConfig
+
+
+def drive(predictor, pc, trip, traversals):
+    """Feed `traversals` full loop traversals of `trip` iterations."""
+    for _ in range(traversals):
+        for i in range(trip):
+            taken = i < trip - 1
+            predicted = predictor.predict(pc)
+            predictor.update(pc, taken, predicted)
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        LoopPredictor(entries=60)
+
+
+def test_no_prediction_before_confidence():
+    p = LoopPredictor(confidence_threshold=3)
+    drive(p, 0x1000, trip=5, traversals=2)
+    assert p.predict(0x1000) is None  # trip seen twice, confirmed once
+
+
+def test_perfect_prediction_after_training():
+    p = LoopPredictor(confidence_threshold=3)
+    drive(p, 0x1000, trip=5, traversals=5)
+    # Now simulate one traversal checking predictions.
+    outcomes = []
+    for i in range(5):
+        outcomes.append(p.predict(0x1000))
+        p.update(0x1000, i < 4, outcomes[-1])
+    assert outcomes == [True, True, True, True, False]
+    assert p.override_accuracy == 1.0
+
+
+def test_trip_change_resets_confidence():
+    p = LoopPredictor(confidence_threshold=2)
+    drive(p, 0x1000, trip=4, traversals=4)
+    assert p.predict(0x1000) is not None
+    drive(p, 0x1000, trip=7, traversals=1)  # different trip observed
+    # Mid-retraining: no confident prediction until re-confirmed.
+    p.update(0x1000, False)  # spurious exit
+    assert p.predict(0x1000) is None or isinstance(p.predict(0x1000), bool)
+
+
+def test_unbounded_loop_poisoned():
+    p = LoopPredictor(max_trip=16, confidence_threshold=1)
+    p.update(0x1000, False)  # allocate
+    for _ in range(20):
+        p.update(0x1000, True)
+    assert p.predict(0x1000) is None
+
+
+def test_reset_speculation_clears_iteration_counts():
+    p = LoopPredictor(confidence_threshold=1)
+    drive(p, 0x1000, trip=4, traversals=3)
+    p.update(0x1000, True)  # one iteration into a traversal
+    p.reset_speculation()
+    # Fresh traversal: first prediction must be "taken".
+    assert p.predict(0x1000) is True
+
+
+def test_integration_with_branch_unit():
+    import dataclasses
+
+    config = dataclasses.replace(BranchConfig(), use_loop_predictor=True)
+    bpu = BranchPredictionUnit(config)
+    assert bpu.loop is not None
+    pc = 0x2000
+    # Train a trip-6 loop through the unit's normal path.
+    for _ in range(8):
+        for i in range(6):
+            taken = i < 5
+            prediction = bpu.predict_cond(pc)
+            bpu.train_cond(prediction, taken)
+            bpu.speculate(taken)
+    # After warmup the loop exit must be predicted (TAGE alone usually also
+    # learns trip-6, so check the override fired at least once).
+    assert bpu.counters["bpu_loop_overrides"] > 0
+
+
+def test_disabled_by_default():
+    bpu = BranchPredictionUnit(BranchConfig())
+    assert bpu.loop is None

@@ -1,0 +1,55 @@
+"""Return address stack."""
+
+from repro.branch.ras import ReturnAddressStack
+
+
+def test_push_pop_lifo():
+    ras = ReturnAddressStack(8)
+    ras.push(0x1000)
+    ras.push(0x2000)
+    assert ras.pop() == 0x2000
+    assert ras.pop() == 0x1000
+
+
+def test_pop_empty_returns_none_and_counts():
+    ras = ReturnAddressStack(4)
+    assert ras.pop() is None
+    assert ras.underflows == 1
+
+
+def test_overflow_drops_oldest():
+    ras = ReturnAddressStack(2)
+    ras.push(1 * 4)
+    ras.push(2 * 4)
+    ras.push(3 * 4)
+    assert ras.overflows == 1
+    assert ras.pop() == 12
+    assert ras.pop() == 8
+    assert ras.pop() is None
+
+
+def test_peek_does_not_pop():
+    ras = ReturnAddressStack(4)
+    ras.push(0x1000)
+    assert ras.peek() == 0x1000
+    assert len(ras) == 1
+
+
+def test_peek_empty():
+    assert ReturnAddressStack(4).peek() is None
+
+
+def test_repair_truncates_to_capacity():
+    ras = ReturnAddressStack(2)
+    ras.repair([0x100, 0x200, 0x300])
+    assert len(ras) == 2
+    assert ras.pop() == 0x300
+    assert ras.pop() == 0x200
+
+
+def test_repair_replaces_corrupted_state():
+    ras = ReturnAddressStack(4)
+    ras.push(0xDEAD)
+    ras.repair([0x100])
+    assert ras.pop() == 0x100
+    assert ras.pop() is None

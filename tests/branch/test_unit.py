@@ -1,0 +1,74 @@
+"""BranchPredictionUnit facade: checkpointing and divergence recovery."""
+
+from repro.branch.unit import BranchPredictionUnit
+from repro.common.config import BranchConfig
+from repro.workloads.program import BranchKind
+
+
+def make_bpu():
+    return BranchPredictionUnit(BranchConfig())
+
+
+def test_probe_unknown_pc_misses():
+    bpu = make_bpu()
+    assert bpu.probe_btb(0x4000) is None
+
+
+def test_fill_and_probe():
+    bpu = make_bpu()
+    bpu.fill_btb(0x4000, BranchKind.CALL, 0x8000)
+    entry = bpu.probe_btb(0x4000)
+    assert entry is not None and entry.kind == BranchKind.CALL
+
+
+def test_divergence_checkpoint_contains_true_outcome():
+    bpu = make_bpu()
+    for _ in range(5):
+        bpu.speculate(True)
+    corrected = bpu.divergence_checkpoint(predicted_taken=False, true_taken=True)
+    # The live history is unchanged (caller pushes the wrong-path bit).
+    live = bpu.checkpoint()
+    assert live != corrected
+    bpu.speculate(True)  # push the true outcome manually
+    assert bpu.checkpoint() == corrected
+
+
+def test_recover_restores_history_and_ras():
+    bpu = make_bpu()
+    bpu.speculate(True)
+    state = bpu.checkpoint()
+    bpu.speculate(False)
+    bpu.speculate_call(0x1234)  # wrong-path RAS push
+    bpu.recover(state, true_call_stack=[0x9000])
+    assert bpu.checkpoint() == state
+    assert bpu.predict_return() == 0x9000
+
+
+def test_train_cond_counts_mispredicts():
+    bpu = make_bpu()
+    prediction = bpu.predict_cond(0x1000)
+    bpu.train_cond(prediction, not prediction.taken)
+    assert bpu.counters["bpu_cond_mispredicts"] == 1
+
+
+def test_train_indirect_fills_btb():
+    bpu = make_bpu()
+    bpu.train_indirect(0x2000, 0x6000, BranchKind.INDIRECT_CALL)
+    entry = bpu.probe_btb(0x2000)
+    assert entry is not None
+    assert entry.kind == BranchKind.INDIRECT_CALL
+    assert entry.target == 0x6000
+
+
+def test_predict_indirect_falls_back_to_btb_target():
+    bpu = make_bpu()
+    bpu.fill_btb(0x2000, BranchKind.INDIRECT, 0x6000)
+    entry = bpu.probe_btb(0x2000)
+    assert bpu.predict_indirect(0x2000, entry) == 0x6000
+
+
+def test_predict_indirect_uses_trained_target():
+    bpu = make_bpu()
+    bpu.train_indirect(0x2000, 0x6000)
+    entry = bpu.probe_btb(0x2000)
+    assert bpu.predict_indirect(0x2000, entry) == 0x6000

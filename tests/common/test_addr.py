@@ -1,0 +1,101 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import addr
+
+
+def test_constants_consistent():
+    assert addr.FETCH_BLOCK_BYTES * addr.FETCH_BLOCKS_PER_LINE == addr.LINE_BYTES
+    assert addr.INSTRS_PER_FETCH_BLOCK == addr.FETCH_BLOCK_BYTES // addr.INSTR_BYTES
+
+
+def test_line_of_aligns_down():
+    assert addr.line_of(0) == 0
+    assert addr.line_of(63) == 0
+    assert addr.line_of(64) == 64
+    assert addr.line_of(0x1234) == 0x1200
+
+
+def test_line_index():
+    assert addr.line_index(0) == 0
+    assert addr.line_index(64) == 1
+    assert addr.line_index(130) == 2
+
+
+def test_block_of_aligns_down():
+    assert addr.block_of(0) == 0
+    assert addr.block_of(31) == 0
+    assert addr.block_of(32) == 32
+    assert addr.block_of(95) == 64
+
+
+def test_block_end_and_next_block():
+    assert addr.block_end(0) == 32
+    assert addr.block_end(31) == 32
+    assert addr.next_block(0) == 32
+    assert addr.next_block(33) == 64
+
+
+def test_next_line():
+    assert addr.next_line(0) == 64
+    assert addr.next_line(100) == 128
+
+
+def test_instr_aligned():
+    assert addr.instr_aligned(0)
+    assert addr.instr_aligned(4)
+    assert not addr.instr_aligned(2)
+    assert not addr.instr_aligned(7)
+
+
+def test_instrs_between():
+    assert addr.instrs_between(0, 32) == 8
+    assert addr.instrs_between(4, 8) == 1
+    assert addr.instrs_between(8, 8) == 0
+    assert addr.instrs_between(8, 4) == 0
+
+
+def test_span_lines_single():
+    assert addr.span_lines(0, 32) == [0]
+    assert addr.span_lines(0, 64) == [0]
+
+
+def test_span_lines_crossing():
+    assert addr.span_lines(32, 96) == [0, 64]
+    assert addr.span_lines(60, 70) == [0, 64]
+
+
+def test_span_lines_empty():
+    assert addr.span_lines(10, 10) == []
+    assert addr.span_lines(20, 10) == []
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_line_of_idempotent(a):
+    assert addr.line_of(addr.line_of(a)) == addr.line_of(a)
+    assert addr.line_of(a) <= a < addr.line_of(a) + addr.LINE_BYTES
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_block_within_line(a):
+    assert addr.line_of(addr.block_of(a)) == addr.line_of(a) or (
+        addr.block_of(a) % addr.LINE_BYTES != 0
+    )
+    # A fetch block never spans two lines (32B blocks inside 64B lines).
+    assert addr.line_of(addr.block_of(a)) == addr.line_of(addr.block_end(a) - 1)
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=4096))
+def test_span_lines_covers_range(start, length):
+    end = start + length
+    lines = addr.span_lines(start, end)
+    if length == 0:
+        assert lines == []
+    else:
+        assert lines[0] == addr.line_of(start)
+        assert lines[-1] == addr.line_of(end - 1)
+        for first, second in zip(lines, lines[1:]):
+            assert second - first == addr.LINE_BYTES

@@ -1,0 +1,88 @@
+"""Counter bag semantics."""
+
+from repro.common.counters import Counters, ratio
+
+
+def test_unknown_counter_reads_zero():
+    c = Counters()
+    assert c["nothing"] == 0
+    assert "nothing" not in c
+
+
+def test_bump_default_and_amount():
+    c = Counters()
+    c.bump("a")
+    c.bump("a", 3)
+    assert c["a"] == 4
+
+
+def test_set_overwrites():
+    c = Counters()
+    c.bump("a", 10)
+    c.set("a", 2)
+    assert c["a"] == 2
+
+
+def test_as_dict_is_a_copy():
+    c = Counters()
+    c.bump("a")
+    d = c.as_dict()
+    d["a"] = 99
+    assert c["a"] == 1
+
+
+def test_merge_adds():
+    a = Counters()
+    b = Counters()
+    a.bump("x", 1)
+    b.bump("x", 2)
+    b.bump("y", 5)
+    a.merge(b)
+    assert a["x"] == 3
+    assert a["y"] == 5
+
+
+def test_delta_since():
+    c = Counters()
+    c.bump("a", 5)
+    snap = c.snapshot()
+    c.bump("a", 2)
+    c.bump("b", 1)
+    delta = c.delta_since(snap)
+    assert delta == {"a": 2, "b": 1}
+
+
+def test_delta_since_omits_unchanged():
+    c = Counters()
+    c.bump("a", 5)
+    snap = c.snapshot()
+    assert c.delta_since(snap) == {}
+
+
+def test_reset():
+    c = Counters()
+    c.bump("a")
+    c.reset()
+    assert c["a"] == 0
+    assert c.as_dict() == {}
+
+
+def test_ratio_normal():
+    assert ratio(1, 2) == 0.5
+
+
+def test_ratio_zero_denominator_returns_default():
+    assert ratio(1, 0) == 0.0
+    assert ratio(1, 0, default=1.0) == 1.0
+
+
+def test_hook_observes_bumps():
+    c = Counters()
+    seen = []
+    c.hook = lambda name, amount: seen.append((name, amount))
+    c.bump("a")
+    c.bump("b", 3)
+    assert seen == [("a", 1), ("b", 3)]
+    c.hook = None
+    c.bump("a")
+    assert len(seen) == 2

@@ -1,0 +1,119 @@
+"""Bloom filter: no false negatives, FPR bounds, sizing math."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bloom import (
+    BITS_PER_ITEM_1PCT,
+    BloomFilter,
+    capacity_for_fpr,
+    optimal_num_hashes,
+)
+
+
+def test_bits_per_item_constant():
+    assert 9.5 < BITS_PER_ITEM_1PCT < 9.7
+
+
+def test_paper_sizing_six_hashes():
+    # 16k bits at its 1%-FPR capacity wants ~6-7 hash functions.
+    bits = 16 * 1024
+    capacity = capacity_for_fpr(bits, 0.01)
+    assert optimal_num_hashes(bits, capacity) in (6, 7)
+
+
+def test_paper_total_storage_budget():
+    total_bits = 16 * 1024 + 1024 + 1024
+    assert total_bits / 8 <= 8 * 1024  # within the 8KB budget
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        BloomFilter(1000, 6)
+
+
+def test_rejects_zero_hashes():
+    with pytest.raises(ValueError):
+        BloomFilter(1024, 0)
+
+
+def test_insert_then_contains():
+    bloom = BloomFilter(1024, 6)
+    bloom.insert(0xABC0)
+    assert bloom.contains(0xABC0)
+
+
+def test_empty_filter_contains_nothing():
+    bloom = BloomFilter(1024, 6)
+    assert not any(bloom.contains(i * 64) for i in range(100))
+
+
+def test_clear_resets():
+    bloom = BloomFilter(1024, 6)
+    bloom.insert(0x40)
+    bloom.clear()
+    assert not bloom.contains(0x40)
+    assert bloom.inserted == 0
+
+
+def test_full_flag():
+    bloom = BloomFilter(1024, 6)
+    assert not bloom.full
+    for i in range(bloom.capacity):
+        bloom.insert(i * 64)
+    assert bloom.full
+
+
+def test_false_positive_rate_near_design_point():
+    bloom = BloomFilter(16 * 1024, 6, seed=5)
+    for i in range(bloom.capacity):
+        bloom.insert(i * 64)
+    probes = 20_000
+    false_hits = sum(
+        bloom.contains((i + 1_000_000) * 64) for i in range(probes)
+    )
+    fpr = false_hits / probes
+    assert fpr < 0.05  # design point ~1%; generous bound for hash variance
+
+
+def test_fill_ratio_monotonic():
+    bloom = BloomFilter(1024, 4)
+    previous = 0.0
+    for i in range(50):
+        bloom.insert(i * 64)
+        assert bloom.fill_ratio >= previous
+        previous = bloom.fill_ratio
+
+
+def test_estimated_fpr_increases_with_fill():
+    bloom = BloomFilter(1024, 4)
+    empty_fpr = bloom.estimated_fpr()
+    for i in range(100):
+        bloom.insert(i * 64)
+    assert bloom.estimated_fpr() > empty_fpr
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**40), max_size=200))
+def test_no_false_negatives(keys):
+    bloom = BloomFilter(4096, 6)
+    for key in keys:
+        bloom.insert(key)
+    assert all(bloom.contains(key) for key in keys)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=2**30), min_size=1, max_size=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_seed_isolation(keys, seed):
+    """Filters with different seeds hold independent bit patterns but both
+    preserve the no-false-negative guarantee."""
+    a = BloomFilter(2048, 4, seed=seed)
+    b = BloomFilter(2048, 4, seed=seed + 1)
+    for key in keys:
+        a.insert(key)
+        b.insert(key)
+    assert all(a.contains(k) and b.contains(k) for k in keys)

@@ -1,0 +1,66 @@
+"""UDP's off-path confidence estimator."""
+
+from repro.branch.tage import CONF_HIGH, CONF_LOW, CONF_MEDIUM
+from repro.common.config import UDPConfig
+from repro.core.confidence import ConfidenceEstimator
+
+
+def make_estimator(threshold=8):
+    return ConfidenceEstimator(UDPConfig(enabled=True, confidence_threshold=threshold))
+
+
+def test_starts_on_path():
+    assert not make_estimator().assumed_off_path
+
+
+def test_high_confidence_never_flags():
+    e = make_estimator()
+    for _ in range(1000):
+        e.on_confidence(CONF_HIGH)
+    assert not e.assumed_off_path
+
+
+def test_low_confidence_accumulates():
+    e = make_estimator(threshold=4)
+    for _ in range(2):
+        e.on_confidence(CONF_LOW)
+    assert not e.assumed_off_path  # counter == 4, not > 4
+    e.on_confidence(CONF_LOW)
+    assert e.assumed_off_path
+
+
+def test_medium_counts_half_of_low():
+    low = make_estimator(threshold=4)
+    medium = make_estimator(threshold=4)
+    for _ in range(3):
+        low.on_confidence(CONF_LOW)
+        medium.on_confidence(CONF_MEDIUM)
+    assert low.assumed_off_path
+    assert not medium.assumed_off_path
+
+
+def test_btb_miss_taken_forces_off_path():
+    e = make_estimator()
+    e.on_btb_miss_predicted_taken()
+    assert e.assumed_off_path
+
+
+def test_reset_clears_everything():
+    e = make_estimator(threshold=2)
+    e.on_confidence(CONF_LOW)
+    e.on_confidence(CONF_LOW)
+    e.on_btb_miss_predicted_taken()
+    assert e.assumed_off_path
+    e.reset()
+    assert not e.assumed_off_path
+    assert e.counter == 0
+
+
+def test_counters_recorded():
+    e = make_estimator()
+    e.on_confidence(CONF_LOW)
+    e.on_confidence(CONF_HIGH)
+    e.on_btb_miss_predicted_taken()
+    assert e.counters[f"udp_conf_{CONF_LOW}"] == 1
+    assert e.counters[f"udp_conf_{CONF_HIGH}"] == 1
+    assert e.counters["udp_forced_off_path"] == 1

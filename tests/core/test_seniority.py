@@ -1,0 +1,60 @@
+"""Seniority-FTQ."""
+
+from repro.core.seniority import SeniorityFTQ
+
+
+def test_insert_and_match_consumes():
+    s = SeniorityFTQ(capacity=8)
+    s.insert(0x1000)
+    assert s.match(0x1000)
+    assert not s.match(0x1000)  # consumed
+    assert s.matched == 1
+
+
+def test_match_unknown_line():
+    s = SeniorityFTQ(capacity=8)
+    assert not s.match(0x2000)
+
+
+def test_fifo_eviction():
+    s = SeniorityFTQ(capacity=2)
+    s.insert(0x1000)
+    s.insert(0x2000)
+    s.insert(0x3000)
+    assert s.evicted == 1
+    assert not s.contains(0x1000)
+    assert s.contains(0x2000)
+    assert s.contains(0x3000)
+
+
+def test_reinsert_refreshes_age():
+    s = SeniorityFTQ(capacity=2)
+    s.insert(0x1000)
+    s.insert(0x2000)
+    s.insert(0x1000)  # refresh
+    s.insert(0x3000)  # evicts 0x2000, not 0x1000
+    assert s.contains(0x1000)
+    assert not s.contains(0x2000)
+
+
+def test_duplicate_insert_not_double_counted():
+    s = SeniorityFTQ(capacity=4)
+    s.insert(0x1000)
+    s.insert(0x1000)
+    assert s.inserted == 1
+    assert len(s) == 1
+
+
+def test_clear():
+    s = SeniorityFTQ(capacity=4)
+    s.insert(0x1000)
+    s.clear()
+    assert len(s) == 0
+    assert not s.contains(0x1000)
+
+
+def test_capacity_invariant():
+    s = SeniorityFTQ(capacity=3)
+    for i in range(20):
+        s.insert(i * 64)
+    assert len(s) <= 3

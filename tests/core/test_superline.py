@@ -1,0 +1,119 @@
+"""Super-line coalescing buffer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.superline import (
+    CoalescingBuffer,
+    superline_base,
+    superline_lines,
+)
+
+L = 64  # line bytes
+
+
+def test_superline_base_alignment():
+    assert superline_base(3 * L, 2) == 2 * L
+    assert superline_base(2 * L, 2) == 2 * L
+    assert superline_base(7 * L, 4) == 4 * L
+    assert superline_base(5 * L, 1) == 5 * L
+
+
+def test_superline_lines():
+    assert superline_lines(4 * L, 4) == [4 * L, 5 * L, 6 * L, 7 * L]
+    assert superline_lines(2 * L, 1) == [2 * L]
+
+
+def test_no_groups_until_capacity_exceeded():
+    buffer = CoalescingBuffer(capacity=4)
+    for i in range(4):
+        assert buffer.insert(i * 10 * L) == []
+    assert len(buffer) == 4
+
+
+def test_isolated_line_flushes_as_single():
+    buffer = CoalescingBuffer(capacity=2)
+    buffer.insert(100 * L)
+    buffer.insert(200 * L)
+    groups = buffer.insert(300 * L)
+    assert groups == [(1, 100 * L)]
+
+
+def test_aligned_pair_coalesces_to_2block():
+    buffer = CoalescingBuffer(capacity=2)
+    buffer.insert(4 * L)
+    buffer.insert(5 * L)  # aligned pair [4,5]
+    groups = buffer.insert(999 * L)  # evicts 4*L -> detects the pair
+    assert groups == [(2, 4 * L)]
+    assert len(buffer) == 1  # only the new line remains
+
+
+def test_aligned_quad_coalesces_to_4block():
+    buffer = CoalescingBuffer(capacity=4)
+    for i in range(4, 8):
+        buffer.insert(i * L)  # aligned quad [4..7]
+    groups = buffer.insert(999 * L)
+    assert groups == [(4, 4 * L)]
+
+
+def test_unaligned_run_prefers_largest_fit():
+    buffer = CoalescingBuffer(capacity=4)
+    # Lines 3,4,5,6: line 3 can pair with 2 (absent); quad base of 3 is 0.
+    for i in (3, 4, 5, 6):
+        buffer.insert(i * L)
+    groups = buffer.insert(999 * L)
+    # Oldest (3) has no partner for 2-block [2,3]; flushed alone.
+    assert groups == [(1, 3 * L)]
+
+
+def test_duplicate_insert_refreshes():
+    buffer = CoalescingBuffer(capacity=2)
+    buffer.insert(10 * L)
+    buffer.insert(20 * L)
+    buffer.insert(10 * L)  # refresh: 20 is now oldest
+    groups = buffer.insert(30 * L)
+    assert groups == [(1, 20 * L)]
+
+
+def test_superlines_disabled():
+    buffer = CoalescingBuffer(capacity=2, enable_superlines=False)
+    buffer.insert(4 * L)
+    buffer.insert(5 * L)
+    groups = buffer.insert(999 * L)
+    assert groups == [(1, 4 * L)]
+
+
+def test_drain_flushes_everything():
+    buffer = CoalescingBuffer(capacity=8)
+    for i in range(4, 8):
+        buffer.insert(i * L)
+    buffer.insert(100 * L)
+    groups = buffer.drain()
+    assert (4, 4 * L) in groups
+    assert (1, 100 * L) in groups
+    assert len(buffer) == 0
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=500),
+        min_size=0,
+        max_size=300,
+        unique=True,
+    )
+)
+def test_conservation_of_lines(line_numbers):
+    """Every inserted line eventually appears in exactly one emitted group."""
+    buffer = CoalescingBuffer(capacity=8)
+    emitted: list[tuple[int, int]] = []
+    inserted: set[int] = set()
+    for n in line_numbers:
+        inserted.add(n * L)
+        emitted.extend(buffer.insert(n * L))
+    emitted.extend(buffer.drain())
+    covered: set[int] = set()
+    for size, base in emitted:
+        for line in superline_lines(base, size):
+            assert line not in covered, "line emitted twice"
+            covered.add(line)
+    assert covered == inserted

@@ -1,0 +1,76 @@
+"""UDP filter: gate decisions, Seniority training, outcome feedback."""
+
+from repro.common.config import UDPConfig
+from repro.core.udp import UDPFilter
+from repro.frontend.fetch_block import FTQEntry
+
+L = 64
+
+
+def make_udp(**overrides):
+    return UDPFilter(UDPConfig(enabled=True, **overrides))
+
+
+def entry(start, assumed_off=False):
+    return FTQEntry(seq=0, start=start, end=start + 32, on_path=True,
+                    assumed_off_path=assumed_off)
+
+
+def test_on_path_candidates_pass_unconditionally():
+    udp = make_udp()
+    assert udp.evaluate(4 * L, entry(4 * L)) == [4 * L]
+    assert udp.counters["udp_pass_on_path"] == 1
+
+
+def test_off_path_unknown_candidate_dropped():
+    udp = make_udp()
+    assert udp.evaluate(4 * L, entry(4 * L, assumed_off=True)) == []
+    assert udp.counters["udp_drop_off_path"] == 1
+
+
+def test_off_path_candidate_recorded_in_seniority():
+    udp = make_udp()
+    udp.evaluate(4 * L, entry(4 * L, assumed_off=True))
+    assert udp.seniority.contains(4 * L)
+
+
+def test_retirement_promotes_candidate():
+    udp = make_udp(infinite_storage=True)
+    udp.evaluate(4 * L, entry(4 * L, assumed_off=True))  # dropped, recorded
+    udp.on_retire(4 * L + 8)  # an instruction in that line retires
+    assert udp.counters["udp_learned_useful"] == 1
+    # Next time the candidate is emitted.
+    assert udp.evaluate(4 * L, entry(4 * L, assumed_off=True)) == [4 * L]
+    assert udp.counters["udp_emit_off_path"] == 1
+
+
+def test_retirement_of_unrelated_line_learns_nothing():
+    udp = make_udp(infinite_storage=True)
+    udp.evaluate(4 * L, entry(4 * L, assumed_off=True))
+    udp.on_retire(9 * L)
+    assert udp.counters["udp_learned_useful"] == 0
+
+
+def test_seniority_disabled_uses_direct_learning_only():
+    udp = make_udp(infinite_storage=True, use_seniority=False)
+    udp.evaluate(4 * L, entry(4 * L, assumed_off=True))
+    udp.on_retire(4 * L)  # ignored without seniority
+    assert udp.counters["udp_learned_useful"] == 0
+    udp.on_demand_hit_off_path_prefetch(4 * L)
+    assert udp.counters["udp_learned_useful_direct"] == 1
+    assert udp.evaluate(4 * L, entry(4 * L, assumed_off=True)) == [4 * L]
+
+
+def test_prefetch_outcomes_feed_flush_policy():
+    udp = make_udp()
+    udp.useful_set.filters[1].inserted = udp.useful_set.filters[1].capacity
+    for _ in range(300):
+        udp.on_prefetch_outcome(useful=False)
+    assert udp.counters["useful_set_flush_1"] >= 1
+
+
+def test_path_estimator_shared():
+    udp = make_udp()
+    assert udp.path_estimator is udp.estimator
+    udp.estimator.on_btb_miss_predicted_taken()
+    assert udp.estimator.assumed_off_path

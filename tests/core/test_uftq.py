@@ -1,0 +1,142 @@
+"""UFTQ controllers: windows, direction rules, combined FSM, regression."""
+
+from repro.common.config import UFTQConfig
+from repro.core.uftq import (
+    PAPER_REGRESSION,
+    PHASE_ATR,
+    PHASE_AUR,
+    PHASE_HOLD,
+    UFTQController,
+    regression_depth,
+)
+from repro.frontend.ftq import FetchTargetQueue
+
+
+def make_controller(mode, window=10, **overrides):
+    config = UFTQConfig(mode=mode, window_prefetches=window, **overrides)
+    ftq = FetchTargetQueue(config.initial_depth, 128)
+    return UFTQController(config, ftq), ftq
+
+
+def feed_utility(controller, useful_count, useless_count):
+    for _ in range(useful_count):
+        controller.on_utility_event(True)
+    for _ in range(useless_count):
+        controller.on_utility_event(False)
+
+
+def feed_timeliness(controller, timely_count, untimely_count):
+    for _ in range(timely_count):
+        controller.on_timeliness_event(True)
+    for _ in range(untimely_count):
+        controller.on_timeliness_event(False)
+
+
+def test_initial_depth():
+    _, ftq = make_controller("aur")
+    assert ftq.depth == 32
+
+
+def test_no_adjustment_mid_window():
+    controller, ftq = make_controller("aur", window=10)
+    feed_utility(controller, 5, 0)
+    assert ftq.depth == 32
+
+
+def test_aur_extends_on_high_utility():
+    controller, ftq = make_controller("aur", window=10)
+    feed_utility(controller, 10, 0)  # utility 1.0 >= target
+    assert ftq.depth == 32 + controller.config.step
+
+
+def test_aur_shrinks_on_low_utility():
+    controller, ftq = make_controller("aur", window=10)
+    feed_utility(controller, 2, 8)  # utility 0.2 < target
+    assert ftq.depth == 32 - controller.config.step
+
+
+def test_atr_extends_on_low_timeliness():
+    controller, ftq = make_controller("atr", window=10)
+    feed_timeliness(controller, 2, 8)  # late prefetches -> run further ahead
+    assert ftq.depth == 32 + controller.config.step
+
+
+def test_atr_shrinks_on_high_timeliness():
+    controller, ftq = make_controller("atr", window=10)
+    feed_timeliness(controller, 10, 0)
+    assert ftq.depth == 32 - controller.config.step
+
+
+def test_depth_clamped_to_bounds():
+    controller, ftq = make_controller("aur", window=10)
+    for _ in range(100):
+        feed_utility(controller, 0, 10)
+    assert ftq.depth == controller.config.min_depth
+    for _ in range(200):
+        feed_utility(controller, 10, 0)
+    assert ftq.depth == controller.config.max_depth
+
+
+def test_off_mode_never_adjusts():
+    controller, ftq = make_controller("off", window=10)
+    feed_utility(controller, 10, 0)
+    feed_timeliness(controller, 10, 0)
+    assert ftq.depth == 32
+    assert controller.adjustments == 0
+
+
+def test_aur_ignores_timeliness_events():
+    controller, ftq = make_controller("aur", window=10)
+    feed_timeliness(controller, 10, 0)
+    assert ftq.depth == 32
+
+
+def test_combined_fsm_progresses_through_phases():
+    controller, ftq = make_controller("atr-aur", window=10)
+    assert controller.phase == PHASE_AUR
+    # Consistently high utility drives the AUR phase to the max rail.
+    for _ in range(20):
+        feed_utility(controller, 10, 0)
+        if controller.phase != PHASE_AUR:
+            break
+    assert controller.phase in (PHASE_ATR, PHASE_HOLD)
+    assert controller.qd_aur is not None
+    for _ in range(20):
+        feed_timeliness(controller, 10, 0)
+        if controller.phase not in (PHASE_ATR,):
+            break
+    assert controller.phase == PHASE_HOLD
+    assert controller.qd_atr is not None
+    assert controller.counters["uftq_regression_applied"] == 1
+
+
+def test_combined_fsm_reenters_search_after_hold():
+    controller, ftq = make_controller("atr-aur", window=10)
+    for _ in range(60):
+        feed_utility(controller, 10, 0)
+        feed_timeliness(controller, 10, 0)
+        if controller.counters["uftq_phase_aur"] >= 1:
+            break
+    assert controller.counters["uftq_phase_aur"] >= 1  # always-on adaptation
+
+
+def test_regression_formula_paper_coefficients():
+    # Hand-computed value at QD_AUR = QD_ATR = 32.
+    value = regression_depth(32, 32, PAPER_REGRESSION)
+    expected = (-0.34 * 32 + 0.64 * 32 + 0.008 * 1024 + 0.01 * 1024
+                - 0.008 * 1024)
+    assert abs(value - expected) < 1e-9
+
+
+def test_regression_depth_monotone_in_atr_region():
+    shallow = regression_depth(16, 16, PAPER_REGRESSION)
+    deep = regression_depth(64, 64, PAPER_REGRESSION)
+    assert deep > shallow
+
+
+def test_combined_applies_clamped_regression():
+    controller, ftq = make_controller("atr-aur", window=10)
+    controller.qd_aur = 96
+    controller.qd_atr = 96
+    controller._apply_regression()
+    assert controller.config.min_depth <= ftq.depth <= controller.config.max_depth

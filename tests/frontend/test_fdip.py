@@ -1,0 +1,154 @@
+"""FDIP prefetch engine: candidates, gating, MSHR interaction."""
+
+from repro.common.config import CacheConfig, FrontendConfig, MemoryConfig
+from repro.common.counters import Counters
+from repro.frontend.fdip import FDIPEngine
+from repro.frontend.fetch_block import FTQEntry
+from repro.frontend.ftq import FetchTargetQueue
+from repro.memory.cache import SetAssocCache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+
+
+class ListGate:
+    """Test gate: records candidates; emits per a canned decision map."""
+
+    def __init__(self, decisions=None):
+        self.seen = []
+        self.decisions = decisions or {}
+
+    def evaluate(self, line_addr, entry):
+        self.seen.append((line_addr, entry.assumed_off_path))
+        return self.decisions.get(line_addr, [line_addr])
+
+
+def make_fdip(gate=None, enabled=True, perfect=False, mshr_capacity=8):
+    config = FrontendConfig(perfect_icache=perfect)
+    ftq = FetchTargetQueue(32, 128)
+    l1i = SetAssocCache(CacheConfig("L1I", 4 * 1024, 4))
+    mshr = MSHRFile(mshr_capacity)
+    hierarchy = MemoryHierarchy(MemoryConfig())
+    counters = Counters()
+    engine = FDIPEngine(config, ftq, l1i, mshr, hierarchy, counters,
+                        gate=gate, enabled=enabled)
+    return engine, ftq, l1i, mshr, counters
+
+
+def entry(seq, start, on_path=True, assumed_off=False):
+    return FTQEntry(seq=seq, start=start, end=start + 32, on_path=on_path,
+                    assumed_off_path=assumed_off)
+
+
+def test_emits_prefetch_for_cold_line():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert mshr.lookup(0x1000) is not None
+    assert counters["prefetches_emitted"] == 1
+
+
+def test_resident_line_not_prefetched():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    l1i.install(0x1000)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted"] == 0
+    assert counters["fdip_probe_resident"] == 1
+
+
+def test_inflight_line_not_duplicated():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    mshr.allocate(0x1000, 100, is_prefetch=False)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted"] == 0
+    assert counters["fdip_probe_inflight"] == 1
+
+
+def test_scan_budget_per_cycle():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    for i in range(5):
+        ftq.push(entry(i, 0x1000 + 0x40 * i))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted"] == 2  # fdip_lookups_per_cycle
+    engine.scan(cycle=2)
+    assert counters["prefetches_emitted"] == 4
+
+
+def test_scan_pointer_does_not_revisit():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    engine.scan(cycle=2)  # nothing new to scan
+    assert counters["prefetches_emitted"] == 1
+
+
+def test_reset_scan_rescans_new_entries():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    ftq.flush()
+    engine.reset_scan(next_seq=1)
+    ftq.push(entry(1, 0x2000))
+    engine.scan(cycle=2)
+    assert mshr.lookup(0x2000) is not None
+
+
+def test_path_tagging_on_emission():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    ftq.push(entry(0, 0x1000, on_path=True))
+    ftq.push(entry(1, 0x2000, on_path=False))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted_on_path"] == 1
+    assert counters["prefetches_emitted_off_path"] == 1
+    assert not mshr.lookup(0x1000).off_path
+    assert mshr.lookup(0x2000).off_path
+
+
+def test_gate_consulted_and_can_drop():
+    gate = ListGate(decisions={0x1000: []})
+    engine, ftq, l1i, mshr, counters = make_fdip(gate=gate)
+    ftq.push(entry(0, 0x1000, assumed_off=True))
+    engine.scan(cycle=1)
+    assert gate.seen == [(0x1000, True)]
+    assert counters["fdip_gated_drops"] == 1
+    assert mshr.lookup(0x1000) is None
+
+
+def test_gate_can_expand_to_superline():
+    gate = ListGate(decisions={0x1000: [0x1000, 0x1040]})
+    engine, ftq, l1i, mshr, counters = make_fdip(gate=gate)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert mshr.lookup(0x1000) is not None
+    assert mshr.lookup(0x1040) is not None
+
+
+def test_mshr_full_drops_prefetch():
+    engine, ftq, l1i, mshr, counters = make_fdip(mshr_capacity=1)
+    mshr.allocate(0x9000, 100, is_prefetch=False)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert counters["fdip_drop_mshr_full"] == 1
+    assert mshr.lookup(0x1000) is None
+
+
+def test_disabled_engine_is_inert():
+    engine, ftq, l1i, mshr, counters = make_fdip(enabled=False)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted"] == 0
+
+
+def test_perfect_icache_disables_prefetching():
+    engine, ftq, l1i, mshr, counters = make_fdip(perfect=True)
+    ftq.push(entry(0, 0x1000))
+    engine.scan(cycle=1)
+    assert counters["prefetches_emitted"] == 0
+
+
+def test_udp_candidate_tag_propagates():
+    engine, ftq, l1i, mshr, counters = make_fdip()
+    ftq.push(entry(0, 0x1000, assumed_off=True))
+    engine.scan(cycle=1)
+    assert mshr.lookup(0x1000).udp_candidate

@@ -1,0 +1,94 @@
+"""Fetch target queue semantics."""
+
+import pytest
+
+from repro.frontend.fetch_block import FTQEntry
+from repro.frontend.ftq import FetchTargetQueue
+
+
+def entry(seq, start=0x1000, size=32):
+    return FTQEntry(seq=seq, start=start, end=start + size, on_path=True)
+
+
+def test_push_pop_fifo():
+    ftq = FetchTargetQueue(depth=4, max_physical=64)
+    ftq.push(entry(0))
+    ftq.push(entry(1, 0x1020))
+    assert ftq.pop().seq == 0
+    assert ftq.pop().seq == 1
+
+
+def test_has_space_respects_depth():
+    ftq = FetchTargetQueue(depth=2, max_physical=64)
+    ftq.push(entry(0))
+    assert ftq.has_space
+    ftq.push(entry(1, 0x1020))
+    assert not ftq.has_space
+
+
+def test_depth_resize_shrink_keeps_entries():
+    ftq = FetchTargetQueue(depth=4, max_physical=64)
+    for i in range(4):
+        ftq.push(entry(i, 0x1000 + 0x20 * i))
+    ftq.depth = 2
+    assert len(ftq) == 4  # entries retained
+    assert not ftq.has_space  # generation pauses until drained
+    ftq.pop()
+    ftq.pop()
+    ftq.pop()
+    assert ftq.has_space
+
+
+def test_depth_clamped_to_physical():
+    ftq = FetchTargetQueue(depth=4, max_physical=16)
+    ftq.depth = 500
+    assert ftq.depth == 16
+    ftq.depth = 0
+    assert ftq.depth == 1
+
+
+def test_entry_at_random_access():
+    ftq = FetchTargetQueue(depth=8, max_physical=64)
+    for i in range(3):
+        ftq.push(entry(i, 0x1000 + 0x20 * i))
+    assert ftq.entry_at(0).seq == 0
+    assert ftq.entry_at(2).seq == 2
+    assert ftq.entry_at(3) is None
+    assert ftq.entry_at(-1) is None
+
+
+def test_flush_empties_and_reports_count():
+    ftq = FetchTargetQueue(depth=8, max_physical=64)
+    for i in range(5):
+        ftq.push(entry(i, 0x1000 + 0x20 * i))
+    assert ftq.flush() == 5
+    assert len(ftq) == 0
+    assert ftq.head() is None
+
+
+def test_occupancy_sampling():
+    ftq = FetchTargetQueue(depth=8, max_physical=64)
+    ftq.sample_occupancy()  # 0
+    ftq.push(entry(0))
+    ftq.push(entry(1, 0x1020))
+    ftq.sample_occupancy()  # 2
+    assert ftq.average_occupancy == 1.0
+    assert ftq.occupancy_samples == 2
+
+
+def test_average_occupancy_no_samples():
+    assert FetchTargetQueue(4, 64).average_occupancy == 0.0
+
+
+def test_malformed_entry_rejected():
+    ftq = FetchTargetQueue(depth=4, max_physical=64)
+    bad = FTQEntry(seq=0, start=0x1000, end=0x1000, on_path=True)
+    with pytest.raises(ValueError):
+        ftq.push(bad)
+
+
+def test_iteration_order():
+    ftq = FetchTargetQueue(depth=8, max_physical=64)
+    for i in range(3):
+        ftq.push(entry(i, 0x1000 + 0x20 * i))
+    assert [e.seq for e in ftq] == [0, 1, 2]

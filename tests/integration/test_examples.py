@@ -1,0 +1,53 @@
+"""Every example script runs to completion (scaled down via argv/env)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", ["mediawiki", "2500"])
+    out = capsys.readouterr().out
+    assert "UDP speedup over baseline" in out
+
+
+def test_ftq_depth_exploration(capsys):
+    run_example("ftq_depth_exploration.py", ["mediawiki", "2500"])
+    out = capsys.readouterr().out
+    assert "optimal FTQ depth" in out
+
+
+def test_udp_vs_comparators(capsys):
+    run_example("udp_vs_comparators.py", ["mediawiki", "2500"])
+    out = capsys.readouterr().out
+    assert "geomean" in out
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py", [])
+    out = capsys.readouterr().out
+    assert "custom program" in out
+    assert "UDP speedup" in out
+
+
+# wrong_path_anatomy and the heavier examples hardcode their workload
+# lists; run them only at full length in manual/doc checks, but verify they
+# at least parse here.
+def test_heavy_examples_compile():
+    for name in ("wrong_path_anatomy.py", "uftq_adaptation.py",
+                 "phase_adaptation.py", "efficiency_report.py"):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

@@ -1,0 +1,66 @@
+"""Cross-technique integration: every preset runs and interacts sanely."""
+
+import pytest
+
+from repro.sim.presets import (
+    PRESET_BUILDERS,
+    baseline_config,
+    eip_config,
+    udp_config,
+    uftq_config,
+)
+from repro.sim.runner import run_workload
+
+N = 4_000
+
+
+@pytest.mark.parametrize("preset", sorted(PRESET_BUILDERS))
+def test_every_preset_runs(preset):
+    config = PRESET_BUILDERS[preset](N)
+    result = run_workload("mediawiki", config, preset)
+    assert result.retired >= N
+    assert result["wrong_path_retired"] == 0
+
+
+def test_uftq_adapts_depth():
+    result = run_workload("verilator", uftq_config("aur", 12_000), "uftq-aur")
+    assert result["uftq_adjustments"] > 0
+
+
+def test_uftq_atr_aur_applies_regression():
+    result = run_workload("gcc", uftq_config("atr-aur", 15_000), "uftq-aa")
+    # The combined controller should complete at least one full search.
+    assert result["uftq_adjustments"] > 0
+
+
+def test_udp_gates_and_learns():
+    result = run_workload("xgboost", udp_config(10_000), "udp")
+    assert result["udp_pass_on_path"] > 0
+    assert (
+        result["udp_drop_off_path"]
+        + result["udp_emit_off_path"]
+        + result["udp_learned_useful"]
+        > 0
+    )
+
+
+def test_udp_composes_with_deep_ftq():
+    result = run_workload("xgboost", udp_config(5_000, ftq_depth=64), "udp64")
+    assert result.retired >= 5_000
+
+
+def test_eip_trains_on_top_of_fdip():
+    result = run_workload("gcc", eip_config(8_000), "eip")
+    assert result.retired >= 8_000
+    # FDIP remains active underneath EIP.
+    assert result["fdip_candidates"] > 0
+
+
+def test_btb_scaling_changes_behavior():
+    small = run_workload(
+        "gcc", baseline_config(5_000).with_btb_entries(512), "btb512"
+    )
+    large = run_workload(
+        "gcc", baseline_config(5_000).with_btb_entries(16384), "btb16k"
+    )
+    assert small["resteer_btb_miss"] > large["resteer_btb_miss"]

@@ -1,0 +1,129 @@
+"""Set-associative cache: LRU, prefetch bits, eviction hooks."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import SetAssocCache
+
+
+def make_cache(size=4 * 1024, assoc=4):
+    return SetAssocCache(CacheConfig("t", size, assoc))
+
+
+def test_miss_then_install_then_hit():
+    cache = make_cache()
+    assert cache.lookup(0x1000) is None
+    cache.install(0x1000)
+    assert cache.lookup(0x1000) is not None
+
+
+def test_contains_does_not_touch_lru():
+    cache = make_cache(size=512, assoc=2)  # 4 sets
+    stride = 4 * 64
+    a, b, c = 0, stride, 2 * stride
+    cache.install(a)
+    cache.install(b)
+    assert cache.contains(a)  # must NOT refresh a
+    # LRU order is still a < b, so installing c evicts a.
+    cache.install(c)
+    assert not cache.contains(a)
+    assert cache.contains(b)
+
+
+def test_lookup_refreshes_lru():
+    cache = make_cache(size=512, assoc=2)
+    stride = 4 * 64
+    a, b, c = 0, stride, 2 * stride
+    cache.install(a)
+    cache.install(b)
+    cache.lookup(a)  # refresh
+    cache.install(c)  # evicts b now
+    assert cache.contains(a)
+    assert not cache.contains(b)
+
+
+def test_eviction_hook_receives_victim():
+    cache = make_cache(size=512, assoc=2)
+    victims = []
+    cache.eviction_hook = victims.append
+    stride = 4 * 64
+    for i in range(3):
+        cache.install(i * stride, prefetch=(i == 0))
+    assert len(victims) == 1
+    assert victims[0].line_addr == 0
+    assert victims[0].prefetch_bit
+
+
+def test_reinstall_keeps_demand_status():
+    cache = make_cache()
+    cache.install(0x1000)  # demand line
+    line = cache.install(0x1000, prefetch=True)  # refresh must not mark prefetch
+    assert not line.prefetch_bit
+
+
+def test_install_prefetch_metadata():
+    cache = make_cache()
+    line = cache.install(0x2000, prefetch=True, prefetch_off_path=True,
+                         prefetch_udp_candidate=True)
+    assert line.prefetch_bit
+    assert line.prefetch_off_path
+    assert line.prefetch_udp_candidate
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.install(0x1000)
+    assert cache.invalidate(0x1000)
+    assert not cache.contains(0x1000)
+    assert not cache.invalidate(0x1000)
+
+
+def test_dirty_bit_sticky():
+    cache = make_cache()
+    cache.install(0x1000, dirty=True)
+    line = cache.install(0x1000, dirty=False)
+    assert line.dirty
+
+
+def test_occupancy_and_resident_lines():
+    cache = make_cache()
+    for i in range(5):
+        cache.install(i * 64)
+    assert cache.occupancy == 5
+    assert sorted(cache.resident_lines()) == [i * 64 for i in range(5)]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
+def test_set_occupancy_never_exceeds_assoc(line_numbers):
+    cache = make_cache(size=1024, assoc=2)  # 8 sets
+    for n in line_numbers:
+        cache.install(n * 64)
+    for way_set in cache._sets:
+        assert len(way_set) <= 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+def test_most_recent_install_always_resident(line_numbers):
+    cache = make_cache(size=1024, assoc=2)
+    for n in line_numbers:
+        cache.install(n * 64)
+        assert cache.contains(n * 64)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=300))
+def test_line_conservation(line_numbers):
+    """Every fresh install is balanced: installs == evictions + residents."""
+    cache = make_cache(size=1024, assoc=2)
+    evictions = []
+    cache.eviction_hook = evictions.append
+    fresh_installs = 0
+    for n in line_numbers:
+        if not cache.contains(n * 64):
+            fresh_installs += 1
+        cache.install(n * 64)
+    assert fresh_installs == len(evictions) + cache.occupancy
+    # An evicted line is not resident unless it was re-installed later.
+    assert set(cache.resident_lines()).isdisjoint(
+        {v.line_addr for v in evictions}
+    ) or any(line_numbers.count(v.line_addr // 64) > 1 for v in evictions)

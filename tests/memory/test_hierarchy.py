@@ -1,0 +1,85 @@
+"""Uncore latency resolution and inclusive fills."""
+
+from repro.common.config import MemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make_hierarchy():
+    return MemoryHierarchy(MemoryConfig())
+
+
+def test_ifetch_cold_goes_to_dram():
+    h = make_hierarchy()
+    latency, level = h.instruction_miss_latency(0x1000)
+    assert level == "dram"
+    assert latency == h.config.dram_latency
+
+
+def test_ifetch_second_access_hits_l2():
+    h = make_hierarchy()
+    h.instruction_miss_latency(0x1000)
+    latency, level = h.instruction_miss_latency(0x1000)
+    assert level == "l2"
+    assert latency == h.config.l2.hit_latency
+
+
+def test_inclusive_fill_into_llc():
+    h = make_hierarchy()
+    h.instruction_miss_latency(0x1000)
+    assert h.llc.contains(0x1000)
+    assert h.l2.contains(0x1000)
+
+
+def test_llc_hit_after_l2_eviction():
+    h = make_hierarchy()
+    h.instruction_miss_latency(0x1000)
+    h.l2.invalidate(0x1000)
+    latency, level = h.instruction_miss_latency(0x1000)
+    assert level == "llc"
+    assert latency == h.config.llc.hit_latency
+    assert h.l2.contains(0x1000)  # refilled inclusively
+
+
+def test_load_cold_latency_includes_dram():
+    h = make_hierarchy()
+    latency = h.load_latency(0x5000_0000)
+    assert latency >= h.config.dram_latency
+
+
+def test_load_warm_hits_l1d():
+    h = make_hierarchy()
+    h.load_latency(0x5000_0000)
+    assert h.load_latency(0x5000_0000) == h.config.l1d.hit_latency
+
+
+def test_store_allocates_dirty():
+    h = make_hierarchy()
+    h.store_access(0x6000_0000)
+    line = h.l1d.lookup(0x6000_0000 & ~63, touch=False)
+    assert line is not None and line.dirty
+
+
+def test_store_to_resident_line_marks_dirty():
+    h = make_hierarchy()
+    h.load_latency(0x6000_0040)
+    h.store_access(0x6000_0040)
+    line = h.l1d.lookup(0x6000_0040 & ~63, touch=False)
+    assert line.dirty
+
+
+def test_stream_prefetcher_reduces_future_latency():
+    h = make_hierarchy()
+    base = 0x7000_0000
+    # Walk a stream long enough to train and trigger prefetches.
+    latencies = [h.load_latency(base + i * 64) for i in range(12)]
+    assert h.counters["stream_prefetches"] > 0
+    # Later stream accesses should be cheaper than the cold ones.
+    assert min(latencies[6:]) < max(latencies[:3])
+
+
+def test_counters_track_hits_and_misses():
+    h = make_hierarchy()
+    h.load_latency(0x5000_0000)
+    h.load_latency(0x5000_0000)
+    assert h.counters["l1d_misses"] == 1
+    assert h.counters["l1d_hits"] == 1

@@ -1,0 +1,73 @@
+"""MSHR file: allocation, merging discipline, fill ordering."""
+
+from repro.memory.mshr import MSHRFile
+
+
+def test_allocate_and_lookup():
+    mshr = MSHRFile(capacity=4)
+    entry = mshr.allocate(0x1000, ready_cycle=10, is_prefetch=True)
+    assert entry is not None
+    assert mshr.lookup(0x1000) is entry
+    assert len(mshr) == 1
+
+
+def test_duplicate_allocation_rejected():
+    mshr = MSHRFile(capacity=4)
+    mshr.allocate(0x1000, 10, is_prefetch=False)
+    assert mshr.allocate(0x1000, 20, is_prefetch=True) is None
+
+
+def test_capacity_enforced():
+    mshr = MSHRFile(capacity=2)
+    mshr.allocate(0x1000, 10, False)
+    mshr.allocate(0x2000, 10, False)
+    assert mshr.full
+    assert mshr.allocate(0x3000, 10, False) is None
+
+
+def test_pop_ready_ordering():
+    mshr = MSHRFile(capacity=8)
+    mshr.allocate(0x1000, ready_cycle=30, is_prefetch=False)
+    mshr.allocate(0x2000, ready_cycle=10, is_prefetch=False)
+    mshr.allocate(0x3000, ready_cycle=20, is_prefetch=False)
+    assert [e.line_addr for e in mshr.pop_ready(5)] == []
+    assert [e.line_addr for e in mshr.pop_ready(20)] == [0x2000, 0x3000]
+    assert [e.line_addr for e in mshr.pop_ready(100)] == [0x1000]
+    assert len(mshr) == 0
+
+
+def test_pop_ready_removes_entries():
+    mshr = MSHRFile(capacity=2)
+    mshr.allocate(0x1000, 10, False)
+    mshr.pop_ready(10)
+    assert not mshr.full
+    assert mshr.lookup(0x1000) is None
+
+
+def test_next_ready_cycle():
+    mshr = MSHRFile(capacity=4)
+    assert mshr.next_ready_cycle() is None
+    mshr.allocate(0x1000, 50, False)
+    mshr.allocate(0x2000, 30, False)
+    assert mshr.next_ready_cycle() == 30
+
+
+def test_metadata_preserved():
+    mshr = MSHRFile(capacity=4)
+    entry = mshr.allocate(
+        0x1000, 10, is_prefetch=True, off_path=True, udp_candidate=True,
+        fill_level="llc",
+    )
+    assert entry.off_path
+    assert entry.udp_candidate
+    assert entry.fill_level == "llc"
+    assert not entry.demand_merged
+    assert not entry.demand_on_path
+
+
+def test_clear():
+    mshr = MSHRFile(capacity=4)
+    mshr.allocate(0x1000, 10, False)
+    mshr.clear()
+    assert len(mshr) == 0
+    assert mshr.pop_ready(100) == []

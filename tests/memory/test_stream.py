@@ -1,0 +1,50 @@
+"""Stream data prefetcher."""
+
+from repro.memory.stream import StreamPrefetcher
+
+
+def test_needs_training_before_prefetching():
+    p = StreamPrefetcher(train_threshold=2)
+    assert p.on_miss(0) == []
+    assert p.on_miss(64) == []
+    assert p.on_miss(128) == []
+    out = p.on_miss(192)
+    assert out  # confidence reached
+
+
+def test_prefetches_ahead_in_direction():
+    p = StreamPrefetcher(degree=2, train_threshold=1)
+    p.on_miss(0)
+    p.on_miss(64)
+    out = p.on_miss(128)
+    assert out == [192, 256]
+
+
+def test_descending_stream():
+    p = StreamPrefetcher(degree=1, train_threshold=1)
+    p.on_miss(10 * 64)
+    p.on_miss(9 * 64)  # flips direction
+    out = p.on_miss(8 * 64)
+    assert out == [7 * 64]
+
+
+def test_unrelated_misses_allocate_streams():
+    p = StreamPrefetcher(max_streams=4)
+    for i in range(3):
+        p.on_miss(i * 1_000_000)
+    assert p.active_streams == 3
+
+
+def test_stream_count_bounded():
+    p = StreamPrefetcher(max_streams=2)
+    for i in range(10):
+        p.on_miss(i * 1_000_000)
+    assert p.active_streams <= 2
+
+
+def test_issued_counter():
+    p = StreamPrefetcher(degree=2, train_threshold=1)
+    p.on_miss(0)
+    p.on_miss(64)
+    p.on_miss(128)
+    assert p.issued == 2

@@ -1,0 +1,86 @@
+"""Entangled instruction prefetcher comparator."""
+
+from repro.prefetchers.eip import EntangledInstructionPrefetcher
+
+L = 64
+
+
+def make_eip(**overrides):
+    defaults = dict(storage_bytes=8 * 1024, entangling_distance=2)
+    defaults.update(overrides)
+    return EntangledInstructionPrefetcher(**defaults)
+
+
+def warm(eip, source, miss):
+    """Access source, pad to the entangling distance, then miss."""
+    eip.on_demand_access(source, hit=True, on_path=True)
+    for i in range(eip.entangling_distance):
+        eip.on_demand_access(source + (100 + i) * L, hit=True, on_path=True)
+    eip.on_demand_access(miss, hit=False, on_path=True)
+
+
+def test_entangles_and_triggers():
+    eip = make_eip()
+    warm(eip, 10 * L, 50 * L)
+    out = eip.on_demand_access(10 * L, hit=True, on_path=True)
+    assert 50 * L in out
+
+
+def test_no_trigger_before_training():
+    eip = make_eip()
+    assert eip.on_demand_access(10 * L, hit=True, on_path=True) == []
+
+
+def test_capacity_is_storage_bounded():
+    eip = make_eip(storage_bytes=1024)
+    assert eip.capacity == 1024 // 12
+    for i in range(1000):
+        warm(eip, i * L, (i + 5000) * L)
+    assert eip.table_occupancy <= eip.capacity
+
+
+def test_storage_bytes_reported():
+    eip = make_eip(storage_bytes=8 * 1024)
+    assert eip.storage_bytes() <= 8 * 1024 + 12
+
+
+def test_multiple_targets_per_source():
+    eip = make_eip(targets_per_entry=2)
+    warm(eip, 10 * L, 50 * L)
+    warm(eip, 10 * L, 60 * L)
+    out = eip.on_demand_access(10 * L, hit=True, on_path=True)
+    assert 50 * L in out and 60 * L in out
+
+
+def test_target_list_bounded():
+    eip = make_eip(targets_per_entry=2)
+    for target in (50, 60, 70):
+        warm(eip, 10 * L, target * L)
+    out = eip.on_demand_access(10 * L, hit=True, on_path=True)
+    assert len(out) <= 2
+    assert 50 * L not in out  # oldest dropped
+
+
+def test_wrong_path_aware_ignores_off_path():
+    eip = make_eip(wrong_path_aware=True)
+    eip.on_demand_access(10 * L, hit=True, on_path=False)
+    eip.on_demand_access(11 * L, hit=True, on_path=False)
+    eip.on_demand_access(50 * L, hit=False, on_path=False)
+    assert eip.trained == 0
+    assert eip.on_demand_access(10 * L, hit=True, on_path=True) == []
+
+
+def test_path_oblivious_trains_on_wrong_path():
+    eip = make_eip(wrong_path_aware=False)
+    eip.on_demand_access(10 * L, hit=True, on_path=False)
+    eip.on_demand_access(11 * L, hit=True, on_path=False)
+    eip.on_demand_access(12 * L, hit=True, on_path=False)
+    eip.on_demand_access(50 * L, hit=False, on_path=False)
+    assert eip.trained == 1
+
+
+def test_self_entangle_rejected():
+    eip = make_eip(entangling_distance=0)
+    eip.on_demand_access(10 * L, hit=False, on_path=True)
+    eip.on_demand_access(10 * L, hit=False, on_path=True)
+    assert eip.trained == 0 or eip.table_occupancy == 0

@@ -1,0 +1,26 @@
+"""Next-line prefetcher."""
+
+from repro.prefetchers.base import NullPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+
+
+def test_prefetches_on_miss():
+    p = NextLinePrefetcher()
+    assert p.on_demand_access(0x1000, hit=False, on_path=True) == [0x1040]
+
+
+def test_silent_on_hit():
+    p = NextLinePrefetcher()
+    assert p.on_demand_access(0x1000, hit=True, on_path=True) == []
+
+
+def test_degree():
+    p = NextLinePrefetcher(degree=3)
+    out = p.on_demand_access(0, hit=False, on_path=True)
+    assert out == [64, 128, 192]
+
+
+def test_null_prefetcher_inert():
+    p = NullPrefetcher()
+    assert p.on_demand_access(0x1000, hit=False, on_path=True) == []
+    assert p.storage_bytes() == 0

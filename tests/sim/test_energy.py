@@ -1,0 +1,69 @@
+"""Energy/traffic accounting."""
+
+from repro.sim.energy import EnergyModel, EnergyReport, efficiency_comparison, energy_report
+from repro.sim.metrics import SimResult
+
+
+def make_result(**counters):
+    counters.setdefault("cycles", 1000)
+    counters.setdefault("retired_instructions", 1000)
+    return SimResult("w", "c", counters=counters)
+
+
+def test_empty_run_costs_nothing():
+    report = energy_report(make_result())
+    assert report.total_pj == 0.0
+    assert report.offchip_bytes == 0
+
+
+def test_dram_dominates():
+    report = energy_report(make_result(dram_ifetch_fills=10, l1d_accesses=10))
+    assert report.per_component_pj["dram"] > report.per_component_pj["l1d"]
+
+
+def test_offchip_traffic_in_bytes():
+    report = energy_report(make_result(dram_ifetch_fills=3, dram_data_fills=2))
+    assert report.offchip_bytes == 5 * 64
+
+
+def test_per_instruction_normalization():
+    report = energy_report(
+        make_result(retired_instructions=2000, dispatched_instructions=2000)
+    )
+    assert report.pj_per_instruction == 18.0  # base uop energy
+
+
+def test_offchip_bytes_per_kinstr():
+    report = energy_report(
+        make_result(retired_instructions=2000, dram_data_fills=10)
+    )
+    assert report.offchip_bytes_per_kinstr == 10 * 64 / 2
+
+
+def test_custom_model():
+    model = EnergyModel(dram_access_pj=1.0)
+    report = energy_report(make_result(dram_ifetch_fills=5), model)
+    assert report.per_component_pj["dram"] == 5.0
+
+
+def test_udp_filter_energy_counted():
+    report = energy_report(make_result(udp_drop_off_path=10, udp_emit_off_path=5))
+    assert report.per_component_pj["udp_filters"] == 2.0 * 3 * 15
+
+
+def test_efficiency_comparison_directions():
+    base = make_result(
+        prefetches_emitted=100, dram_ifetch_fills=50, dispatched_instructions=1200
+    )
+    technique = make_result(
+        prefetches_emitted=60, dram_ifetch_fills=30, dispatched_instructions=1100
+    )
+    deltas = efficiency_comparison(base, technique)
+    assert deltas["prefetches_emitted_pct"] == -40.0
+    assert deltas["offchip_traffic_pct"] < 0
+    assert deltas["energy_per_instruction_pct"] < 0
+
+
+def test_efficiency_comparison_zero_baseline():
+    deltas = efficiency_comparison(make_result(), make_result())
+    assert deltas["ipc_pct"] == 0.0

@@ -1,0 +1,85 @@
+"""Derived metrics over raw counters."""
+
+from repro.sim.metrics import SimResult, geomean, speedup
+
+
+def make_result(**counters):
+    return SimResult("test", "cfg", counters=counters)
+
+
+def test_ipc():
+    r = make_result(cycles=1000, retired_instructions=1500)
+    assert r.ipc == 1.5
+
+
+def test_ipc_zero_cycles():
+    assert make_result().ipc == 0.0
+
+
+def test_icache_mpki():
+    r = make_result(retired_instructions=10_000, icache_demand_misses=50)
+    assert r.icache_mpki == 5.0
+
+
+def test_timeliness_includes_demand_misses():
+    r = make_result(atr_icache_hits=80, atr_mshr_hits=10, icache_demand_misses=10)
+    assert r.timeliness == 0.8
+
+
+def test_timeliness_default_with_no_events():
+    assert make_result().timeliness == 1.0
+
+
+def test_strict_merge_timeliness():
+    r = make_result(atr_icache_hits=30, atr_mshr_hits=10, icache_demand_misses=100)
+    assert r.prefetch_merge_timeliness == 0.75
+
+
+def test_utility():
+    r = make_result(prefetch_useful=30, prefetch_useless=10)
+    assert r.utility == 0.75
+
+
+def test_on_path_ratio():
+    r = make_result(prefetches_emitted=100, prefetches_emitted_on_path=25)
+    assert r.on_path_ratio == 0.25
+
+
+def test_branch_metrics():
+    r = make_result(
+        retired_instructions=10_000,
+        bpu_cond_mispredicts=50,
+        bpu_cond_predictions=1000,
+        btb_gen_hits=900,
+        btb_gen_misses=100,
+    )
+    assert r.branch_mpki == 5.0
+    assert r.cond_accuracy == 0.95
+    assert r.btb_gen_hit_rate == 0.9
+
+
+def test_resteers_per_kilo():
+    r = make_result(retired_instructions=2000, resteers=10)
+    assert r.resteers_per_kilo_instruction == 5.0
+
+
+def test_summary_keys():
+    summary = make_result(cycles=10, retired_instructions=10).summary()
+    for key in ("ipc", "icache_mpki", "timeliness", "utility", "on_path_ratio"):
+        assert key in summary
+
+
+def test_getitem_defaults_zero():
+    assert make_result()["whatever"] == 0
+
+
+def test_speedup():
+    fast = make_result(cycles=100, retired_instructions=200)
+    slow = make_result(cycles=100, retired_instructions=100)
+    assert speedup(fast, slow) == 2.0
+
+
+def test_geomean():
+    assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-12
+    assert geomean([]) == 0.0
+    assert geomean([3.0]) == 3.0

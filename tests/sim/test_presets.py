@@ -1,0 +1,82 @@
+"""Named technique presets."""
+
+import pytest
+
+from repro.sim.presets import (
+    PRESET_BUILDERS,
+    baseline_config,
+    bigger_icache_config,
+    eip_config,
+    infinite_storage_config,
+    no_prefetch_config,
+    opt_config,
+    perfect_icache_config,
+    udp_config,
+    uftq_config,
+)
+
+
+@pytest.mark.parametrize("name", sorted(PRESET_BUILDERS))
+def test_all_presets_validate(name):
+    PRESET_BUILDERS[name]().validate()
+
+
+def test_baseline_is_table2():
+    config = baseline_config()
+    assert config.frontend.ftq_depth == 32
+    assert config.prefetcher.kind == "fdip"
+    assert not config.udp.enabled
+    assert config.uftq.mode == "off"
+
+
+def test_baseline_custom_depth():
+    assert baseline_config(ftq_depth=64).frontend.ftq_depth == 64
+
+
+def test_perfect_icache_flag():
+    assert perfect_icache_config().frontend.perfect_icache
+
+
+def test_no_prefetch():
+    assert no_prefetch_config().prefetcher.kind == "none"
+
+
+def test_uftq_modes():
+    for mode in ("aur", "atr", "atr-aur"):
+        assert uftq_config(mode).uftq.mode == mode
+
+
+def test_udp_enabled_with_paper_blooms():
+    config = udp_config()
+    assert config.udp.enabled
+    assert config.udp.bloom_bits_1 == 16 * 1024
+    assert config.udp.bloom_bits_2 == 1024
+    assert config.udp.bloom_bits_4 == 1024
+    assert config.udp.bloom_hashes == 6
+
+
+def test_udp_overrides_forwarded():
+    config = udp_config(confidence_threshold=3, use_superlines=False)
+    assert config.udp.confidence_threshold == 3
+    assert not config.udp.use_superlines
+
+
+def test_infinite_storage():
+    assert infinite_storage_config().udp.infinite_storage
+
+
+def test_bigger_icache_is_40k_power_of_two_sets():
+    config = bigger_icache_config()
+    assert config.memory.l1i.size_bytes == 40 * 1024
+    config.validate()  # 10-way keeps sets a power of two
+
+
+def test_eip_rides_on_fdip():
+    config = eip_config()
+    assert config.prefetcher.kind == "eip"
+    assert not config.prefetcher.standalone_only
+    assert config.prefetcher.eip_storage_bytes == 8 * 1024
+
+
+def test_opt_config_depth():
+    assert opt_config(depth=60).frontend.ftq_depth == 60

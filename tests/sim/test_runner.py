@@ -1,0 +1,54 @@
+"""Run drivers: caching, sweeps, optima."""
+
+from repro.sim.presets import baseline_config
+from repro.sim.runner import (
+    optimal_ftq_depth,
+    program_for,
+    run_suite,
+    run_workload,
+    sweep_ftq_depths,
+)
+
+FAST = baseline_config(max_instructions=3_000).replace(
+    functional_warmup_blocks=1_500
+)
+
+
+def test_program_cache_returns_same_object():
+    assert program_for("mysql", 1) is program_for("mysql", 1)
+    assert program_for("mysql", 1) is not program_for("mysql", 2)
+
+
+def test_run_workload_result_fields():
+    result = run_workload("mediawiki", FAST, config_name="fast")
+    assert result.workload == "mediawiki"
+    assert result.config_name == "fast"
+    assert result.retired >= 3_000
+    assert result.cycles > 0
+    assert result.ipc > 0
+
+
+def test_workload_profile_pins_load_dependence():
+    # xgboost pins a high load-dependence fraction; it must not leak into
+    # the caller's config object.
+    config = baseline_config(max_instructions=2_000)
+    run_workload("xgboost", config)
+    assert config.core.load_dependence_fraction != 0.55
+
+
+def test_sweep_returns_all_depths():
+    results = sweep_ftq_depths("mediawiki", FAST, [16, 32])
+    assert sorted(results) == [16, 32]
+    assert all(r.retired >= 3_000 for r in results.values())
+
+
+def test_optimal_ftq_depth_picks_max_ipc():
+    best, results = optimal_ftq_depth("mediawiki", FAST, [16, 32])
+    assert best in results
+    assert results[best].ipc == max(r.ipc for r in results.values())
+
+
+def test_run_suite_structure():
+    configs = {"baseline": FAST}
+    out = run_suite(configs, ["mediawiki"])
+    assert out["mediawiki"]["baseline"].ipc > 0

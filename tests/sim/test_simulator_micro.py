@@ -1,0 +1,129 @@
+"""Simulator behaviour on handcrafted micro programs (exactly analyzable)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import SimConfig, UDPConfig
+from repro.sim.simulator import Simulator
+from repro.workloads import micro
+
+
+def run_micro(program, instructions=3_000, warmup_blocks=300, **config_overrides):
+    config = SimConfig(
+        max_instructions=instructions,
+        functional_warmup_blocks=warmup_blocks,
+        **config_overrides,
+    )
+    sim = Simulator(program, config)
+    sim.run()
+    return sim
+
+
+def test_straight_loop_high_ipc():
+    """A tiny resident loop with one predictable branch approaches peak IPC."""
+    sim = run_micro(micro.straight_loop(body_instrs=8))
+    ipc = sim.backend.retired_instructions / sim.cycle
+    assert ipc > 2.0
+
+
+def test_retires_exactly_target():
+    sim = run_micro(micro.straight_loop(), instructions=2_500)
+    assert sim.backend.retired_instructions >= 2_500
+    assert sim.backend.retired_instructions < 2_500 + 16
+
+
+def test_no_wrong_path_retirement():
+    sim = run_micro(micro.mispredicting_loop())
+    assert sim.counters["wrong_path_retired"] == 0
+
+
+def test_mispredicting_loop_slower_than_predictable():
+    predictable = run_micro(micro.counted_loop(trip_count=8))
+    random_branch = run_micro(micro.mispredicting_loop())
+    ipc_p = predictable.backend.retired_instructions / predictable.cycle
+    ipc_r = random_branch.backend.retired_instructions / random_branch.cycle
+    assert ipc_p > ipc_r * 1.2
+    assert random_branch.counters["resteers"] > predictable.counters["resteers"]
+
+
+def test_resteer_causes_recorded():
+    sim = run_micro(micro.mispredicting_loop())
+    assert sim.counters["resteer_cond_mispredict"] > 0
+    assert sim.counters["resteers"] >= sim.counters["resteer_cond_mispredict"]
+
+
+def test_perfect_icache_at_least_as_fast():
+    program = micro.long_straight(num_blocks=2048, block_instrs=8)
+    base = run_micro(program, warmup_blocks=0)
+    perfect_config = dataclasses.replace(
+        SimConfig(max_instructions=3_000, functional_warmup_blocks=0).frontend,
+        perfect_icache=True,
+    )
+    perfect = Simulator(
+        program,
+        SimConfig(max_instructions=3_000, functional_warmup_blocks=0,
+                  ).replace(frontend=perfect_config),
+    )
+    perfect.run()
+    ipc_base = base.backend.retired_instructions / base.cycle
+    ipc_perfect = perfect.backend.retired_instructions / perfect.cycle
+    assert ipc_perfect >= ipc_base * 0.98
+
+
+def test_cold_straight_code_misses_then_prefetches():
+    """A big cold straight-line region exercises FDIP's sequential coverage."""
+    program = micro.long_straight(num_blocks=4096, block_instrs=8)
+    sim = run_micro(program, instructions=6_000, warmup_blocks=0)
+    assert sim.counters["prefetches_emitted"] > 0
+    assert sim.counters["icache_demand_misses"] > 0
+
+
+def test_functional_warmup_fills_btb():
+    program = micro.counted_loop(trip_count=8)
+    config = SimConfig(max_instructions=1_000, functional_warmup_blocks=100)
+    sim = Simulator(program, config)
+    sim.functional_warmup(100)
+    # The loop's branches are in the BTB before timing starts.
+    for block in program.blocks:
+        if block.branch is not None:
+            assert sim.bpu.btb.contains(block.branch.pc)
+    sim.run()
+    assert sim.backend.retired_instructions >= 1_000
+
+
+def test_warmup_counters_excluded_from_measurement():
+    program = micro.straight_loop()
+    sim = run_micro(program, instructions=1_000, warmup_blocks=500)
+    measured = sim.measured_counters()
+    assert measured["retired_instructions"] >= 1_000
+    assert measured["cycles"] == sim.cycle  # functional warmup takes 0 cycles
+
+
+def test_double_functional_warmup_rejected():
+    from repro.common.errors import SimulationError
+
+    program = micro.straight_loop()
+    sim = Simulator(program, SimConfig(max_instructions=100,
+                                       functional_warmup_blocks=0))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.functional_warmup(10)
+
+
+def test_udp_runs_on_micro_program():
+    program = micro.mispredicting_loop()
+    sim = run_micro(program, udp=UDPConfig(enabled=True))
+    assert sim.udp is not None
+    assert sim.backend.retired_instructions >= 3_000
+
+
+def test_call_return_program_completes():
+    sim = run_micro(micro.call_return())
+    assert sim.counters["wrong_path_retired"] == 0
+    assert sim.backend.retired_instructions >= 3_000
+
+
+def test_switch_program_completes():
+    sim = run_micro(micro.rotating_switch(fanout=4))
+    assert sim.backend.retired_instructions >= 3_000

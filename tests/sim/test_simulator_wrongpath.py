@@ -1,0 +1,90 @@
+"""Wrong-path behaviour observed through full simulations."""
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.workloads import micro
+from repro.workloads.synth import synthesize
+from repro.workloads.profiles import get_profile
+
+
+def run_sim(program, instructions=4_000, warmup=400, **kwargs):
+    config = SimConfig(
+        max_instructions=instructions,
+        functional_warmup_blocks=warmup,
+        **kwargs,
+    )
+    sim = Simulator(program, config)
+    sim.run()
+    return sim
+
+
+@pytest.fixture(scope="module")
+def xgb_sim():
+    return run_sim(synthesize(get_profile("xgboost"), 1), instructions=6_000,
+                   warmup=3_000)
+
+
+def test_off_path_prefetches_occur(xgb_sim):
+    assert xgb_sim.counters["prefetches_emitted_off_path"] > 0
+
+
+def test_off_path_demand_misses_pollute(xgb_sim):
+    """Wrong-path demand fetches really access (and fill) the icache."""
+    assert xgb_sim.counters["icache_demand_misses_off_path"] > 0
+
+
+def test_off_path_blocks_generated(xgb_sim):
+    assert xgb_sim.counters["ftq_blocks_off_path"] > 0
+    assert xgb_sim.counters["ftq_blocks_on_path"] > 0
+
+
+def test_squashes_happened(xgb_sim):
+    assert xgb_sim.counters["backend_squashed_uops"] > 0
+
+
+def test_divergences_resolve(xgb_sim):
+    c = xgb_sim.counters
+    divergences = sum(
+        c[f"divergence_{cause}"]
+        for cause in ("cond_mispredict", "btb_miss", "indirect_mispredict",
+                      "ras_mispredict")
+    )
+    # At most one divergence may still be in flight at the end of the run.
+    assert 0 <= divergences - c["resteers"] <= 1
+
+
+def test_decode_resteers_cheaper_than_execute():
+    """Post-fetch-corrected BTB misses recover faster than mispredicts."""
+    import dataclasses
+
+    program = synthesize(get_profile("gcc"), 1)
+    with_pfc = run_sim(program, warmup=2_000)
+    config = SimConfig(max_instructions=4_000, functional_warmup_blocks=2_000)
+    no_pfc_cfg = config.replace(
+        frontend=dataclasses.replace(config.frontend, post_fetch_correction=False)
+    )
+    no_pfc = Simulator(synthesize(get_profile("gcc"), 1), no_pfc_cfg)
+    no_pfc.run()
+    # Without PFC every BTB-miss divergence resolves at execute.
+    assert no_pfc.counters["resteer_at_decode"] == 0
+    assert with_pfc.counters["resteer_at_decode"] > 0
+    ipc_pfc = with_pfc.backend.retired_instructions / with_pfc.cycle
+    ipc_no = no_pfc.backend.retired_instructions / no_pfc.cycle
+    assert ipc_pfc >= ipc_no * 0.98  # PFC should not hurt
+
+
+def test_useful_off_path_prefetch_exists():
+    """Merge points make some off-path prefetches useful (Fig 7)."""
+    sim = run_sim(synthesize(get_profile("mongodb"), 1), instructions=8_000,
+                  warmup=3_000)
+    assert sim.counters["prefetch_useful_off_path"] > 0
+
+
+def test_mispredict_heavy_program_spends_cycles_squashed():
+    clean = run_sim(micro.counted_loop(8))
+    messy = run_sim(micro.mispredicting_loop())
+    clean_ratio = clean.counters["backend_squashed_uops"] / clean.cycle
+    messy_ratio = messy.counters["backend_squashed_uops"] / messy.cycle
+    assert messy_ratio > clean_ratio

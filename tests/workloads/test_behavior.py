@@ -1,0 +1,151 @@
+"""Branch-outcome behaviour determinism and statistics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.behavior import (
+    AlwaysTaken,
+    BiasedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    PhasedBehavior,
+    RotatingTargets,
+    WeightedTargets,
+    ZipfTargets,
+    mix64,
+    unit_hash,
+)
+
+
+def test_mix64_deterministic_and_bounded():
+    assert mix64(12345) == mix64(12345)
+    assert 0 <= mix64(999) < 2**64
+
+
+def test_unit_hash_in_unit_interval():
+    for i in range(100):
+        assert 0.0 <= unit_hash(42, i) < 1.0
+
+
+def test_unit_hash_random_access():
+    # Random access: value at index i independent of query order.
+    forward = [unit_hash(7, i) for i in range(10)]
+    backward = [unit_hash(7, i) for i in reversed(range(10))]
+    assert forward == list(reversed(backward))
+
+
+def test_always_taken():
+    b = AlwaysTaken()
+    assert all(b.taken(i) for i in range(10))
+
+
+def test_biased_behavior_rate():
+    b = BiasedBehavior(seed=3, p_taken=0.9)
+    rate = sum(b.taken(i) for i in range(5000)) / 5000
+    assert 0.87 < rate < 0.93
+
+
+def test_biased_behavior_deterministic():
+    a = BiasedBehavior(seed=3, p_taken=0.5)
+    b = BiasedBehavior(seed=3, p_taken=0.5)
+    assert [a.taken(i) for i in range(50)] == [b.taken(i) for i in range(50)]
+
+
+def test_biased_behavior_seed_matters():
+    a = BiasedBehavior(seed=3, p_taken=0.5)
+    b = BiasedBehavior(seed=4, p_taken=0.5)
+    assert [a.taken(i) for i in range(64)] != [b.taken(i) for i in range(64)]
+
+
+def test_loop_behavior_trip_count():
+    b = LoopBehavior(trip_count=4)
+    outcomes = [b.taken(i) for i in range(8)]
+    assert outcomes == [True, True, True, False, True, True, True, False]
+
+
+def test_loop_behavior_trip_one_never_taken():
+    b = LoopBehavior(trip_count=1)
+    assert not any(b.taken(i) for i in range(5))
+
+
+def test_pattern_behavior_repeats():
+    b = PatternBehavior(seed=0, pattern=0b1010, length=4, noise=0.0)
+    outcomes = [b.taken(i) for i in range(8)]
+    assert outcomes == [False, True, False, True] * 2
+
+
+def test_pattern_behavior_noise_flips_some():
+    clean = PatternBehavior(seed=9, pattern=0b1111, length=4, noise=0.0)
+    noisy = PatternBehavior(seed=9, pattern=0b1111, length=4, noise=0.3)
+    flips = sum(
+        clean.taken(i) != noisy.taken(i) for i in range(2000)
+    )
+    assert 400 < flips < 800  # ~30%
+
+
+def test_phased_behavior_switches():
+    b = PhasedBehavior(AlwaysTaken(), LoopBehavior(1), phase_length=4)
+    assert all(b.taken(i) for i in range(4))
+    assert not any(b.taken(i) for i in range(4, 8))
+    assert all(b.taken(i) for i in range(8, 12))
+
+
+def test_weighted_targets_hot_fraction():
+    b = WeightedTargets(seed=5, hot_fraction=0.8)
+    picks = [b.select(i, 5) for i in range(5000)]
+    hot_rate = picks.count(0) / len(picks)
+    assert 0.77 < hot_rate < 0.83
+    assert all(0 <= p < 5 for p in picks)
+
+
+def test_weighted_targets_single_target():
+    b = WeightedTargets(seed=5, hot_fraction=0.8)
+    assert b.select(123, 1) == 0
+
+
+def test_rotating_targets_cycles():
+    b = RotatingTargets()
+    assert [b.select(i, 3) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_zipf_targets_bounds():
+    b = ZipfTargets(seed=11, alpha=1.0)
+    picks = [b.select(i, 50) for i in range(2000)]
+    assert all(0 <= p < 50 for p in picks)
+
+
+def test_zipf_concentration_varies_with_alpha():
+    flat = ZipfTargets(seed=11, alpha=0.0)
+    skewed = ZipfTargets(seed=11, alpha=1.0)
+    flat_head = sum(flat.select(i, 50) < 5 for i in range(3000))
+    skewed_head = sum(skewed.select(i, 50) < 5 for i in range(3000))
+    assert skewed_head > flat_head * 1.5
+
+
+@given(st.integers(min_value=2, max_value=64), st.integers(min_value=0, max_value=10_000))
+def test_loop_behavior_exactly_one_exit_per_trip(trip, start):
+    b = LoopBehavior(trip_count=trip)
+    window = [b.taken(start * trip + i) for i in range(trip)]
+    assert window.count(False) == 1
+    assert window[-1] is False
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_weighted_select_always_in_range(seed, num_targets, occurrence):
+    b = WeightedTargets(seed=seed, hot_fraction=0.8)
+    assert 0 <= b.select(occurrence, num_targets) < num_targets
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.floats(min_value=0.0, max_value=1.2),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_zipf_select_always_in_range(seed, alpha, num_targets, occurrence):
+    b = ZipfTargets(seed=seed, alpha=alpha)
+    assert 0 <= b.select(occurrence, num_targets) < num_targets

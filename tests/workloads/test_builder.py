@@ -1,0 +1,134 @@
+"""ProgramBuilder: label resolution, emission, errors."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.workloads.behavior import AlwaysTaken, RotatingTargets
+from repro.workloads.builder import ProgramBuilder, make_ops
+from repro.workloads.program import BranchKind
+
+
+def test_forward_label_resolution():
+    b = ProgramBuilder(base=0x1000)
+    target = b.label("t")
+    b.set_entry()
+    b.block(4, jump_to=target)
+    b.place(target)
+    b.block(2, jump_to=0x1000)
+    program = b.finish()
+    first = program.blocks[0]
+    assert first.branch is not None
+    assert first.branch.target == 0x1010
+
+
+def test_backward_address_target():
+    b = ProgramBuilder(base=0x1000)
+    b.set_entry()
+    b.block(4, jump_to=0x1000)
+    program = b.finish()
+    assert program.blocks[0].branch.target == 0x1000
+
+
+def test_unplaced_label_raises():
+    b = ProgramBuilder(base=0x1000)
+    dangling = b.label("d")
+    b.block(4, jump_to=dangling)
+    with pytest.raises(ProgramError):
+        b.finish()
+
+
+def test_double_place_raises():
+    b = ProgramBuilder(base=0x1000)
+    label = b.label("x")
+    b.place(label)
+    b.block(4, jump_to=label)
+    with pytest.raises(ProgramError):
+        b.place(label)
+
+
+def test_unaligned_base_raises():
+    with pytest.raises(ProgramError):
+        ProgramBuilder(base=0x1001)
+
+
+def test_cond_branch_emission():
+    b = ProgramBuilder(base=0x1000)
+    head = b.label("h")
+    b.place(head)
+    b.set_entry()
+    b.cond_branch(4, target=head, behavior=AlwaysTaken())
+    program = b.finish()
+    branch = program.blocks[0].branch
+    assert branch.kind == BranchKind.COND
+    assert branch.pc == 0x100C
+    assert branch.target == 0x1000
+
+
+def test_call_and_ret_emission():
+    b = ProgramBuilder(base=0x1000)
+    func = b.label("f")
+    b.set_entry()
+    b.call(2, target=func)
+    b.block(2, jump_to=0x1000)
+    b.place(func)
+    b.ret(2)
+    program = b.finish()
+    assert program.blocks[0].branch.kind == BranchKind.CALL
+    assert program.blocks[2].branch.kind == BranchKind.RET
+
+
+def test_indirect_with_label_targets():
+    b = ProgramBuilder(base=0x1000)
+    cases = [b.label(f"c{i}") for i in range(3)]
+    b.set_entry()
+    b.indirect(2, targets=list(cases), behavior=RotatingTargets())
+    for label in cases:
+        b.place(label)
+        b.block(2, jump_to=0x1000)
+    program = b.finish()
+    branch = program.blocks[0].branch
+    assert branch.kind == BranchKind.INDIRECT
+    assert len(branch.targets) == 3
+    assert branch.targets[0] == 0x1008
+    assert branch.true_target(0) == branch.targets[0]
+    assert branch.true_target(1) == branch.targets[1]
+
+
+def test_indirect_call_kind():
+    b = ProgramBuilder(base=0x1000)
+    case = b.label("c")
+    b.set_entry()
+    b.indirect(2, targets=[case], behavior=RotatingTargets(), call=True)
+    b.place(case)
+    b.block(2, jump_to=0x1000)
+    program = b.finish()
+    assert program.blocks[0].branch.kind == BranchKind.INDIRECT_CALL
+
+
+def test_here_tracks_cursor():
+    b = ProgramBuilder(base=0x1000)
+    assert b.here() == 0x1000
+    b.block(4)
+    assert b.here() == 0x1010
+
+
+def test_make_ops_mix():
+    import random
+
+    rng = random.Random(1)
+    ops = make_ops(10_000, rng, load_frac=0.3, store_frac=0.1)
+    loads = ops.count(1) / len(ops)
+    stores = ops.count(2) / len(ops)
+    assert 0.27 < loads < 0.33
+    assert 0.08 < stores < 0.12
+
+
+def test_blocks_tile_contiguously():
+    b = ProgramBuilder(base=0x1000)
+    b.set_entry()
+    for _ in range(5):
+        b.block(3)
+    b.block(2, jump_to=0x1000)
+    program = b.finish()
+    for prev, cur in zip(program.blocks, program.blocks[1:]):
+        assert prev.end_addr == cur.addr

@@ -1,0 +1,56 @@
+"""Data-address stream generation."""
+
+from repro.workloads.data import DataAddressGenerator
+from repro.workloads.profiles import DataProfile
+
+
+def test_classification_deterministic():
+    gen = DataAddressGenerator(DataProfile(), seed=1)
+    assert gen.classify(0x1000) == gen.classify(0x1000)
+
+
+def test_class_mix_roughly_matches_profile():
+    profile = DataProfile(stack_frac=0.5, stream_frac=0.3)
+    gen = DataAddressGenerator(profile, seed=1)
+    classes = [gen.classify(0x1000 + 4 * i) for i in range(4000)]
+    stack = classes.count("stack") / len(classes)
+    stream = classes.count("stream") / len(classes)
+    assert 0.46 < stack < 0.54
+    assert 0.26 < stream < 0.34
+
+
+def test_stack_addresses_stay_in_small_region():
+    gen = DataAddressGenerator(DataProfile(stack_frac=1.0, stream_frac=0.0), seed=1)
+    addrs = [gen.next_address(0x1000 + 4 * i) for i in range(200)]
+    assert max(addrs) - min(addrs) < 64 * 1024
+
+
+def test_stream_addresses_stride():
+    gen = DataAddressGenerator(DataProfile(stack_frac=0.0, stream_frac=1.0), seed=1)
+    pc = 0x2000
+    addrs = [gen.next_address(pc) for _ in range(10)]
+    deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+    assert deltas == {64}  # fixed stride per PC
+
+
+def test_random_addresses_spread():
+    profile = DataProfile(stack_frac=0.0, stream_frac=0.0, data_footprint_bytes=1 << 24)
+    gen = DataAddressGenerator(profile, seed=1)
+    addrs = {gen.next_address(0x3000) for _ in range(100)}
+    assert len(addrs) > 90  # nearly all distinct
+
+
+def test_reset_restarts_occurrences():
+    gen = DataAddressGenerator(DataProfile(stack_frac=0.0, stream_frac=1.0), seed=1)
+    first = gen.next_address(0x4000)
+    gen.next_address(0x4000)
+    gen.reset()
+    assert gen.next_address(0x4000) == first
+
+
+def test_different_seeds_differ():
+    a = DataAddressGenerator(DataProfile(), seed=1)
+    b = DataAddressGenerator(DataProfile(), seed=2)
+    addrs_a = [a.next_address(0x5000 + 8 * i) for i in range(50)]
+    addrs_b = [b.next_address(0x5000 + 8 * i) for i in range(50)]
+    assert addrs_a != addrs_b

@@ -1,0 +1,68 @@
+"""Suite profile metadata."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    PAPER_TABLE3,
+    SUITE,
+    SUITE_BY_NAME,
+    get_profile,
+)
+
+
+def test_ten_workloads():
+    assert len(SUITE) == 10
+
+
+def test_names_match_paper():
+    assert {p.name for p in SUITE} == {
+        "mysql", "postgres", "clang", "gcc", "drupal",
+        "verilator", "mongodb", "tomcat", "xgboost", "mediawiki",
+    }
+
+
+def test_paper_table3_covers_suite():
+    assert set(PAPER_TABLE3) == {p.name for p in SUITE}
+
+
+def test_paper_table3_values():
+    # Spot checks against the paper's Table III.
+    assert PAPER_TABLE3["verilator"] == (84, 0.64, 0.46)
+    assert PAPER_TABLE3["xgboost"] == (12, 0.30, 0.31)
+    assert PAPER_TABLE3["gcc"][0] == 60
+
+
+def test_unique_seed_salts():
+    salts = [p.seed_salt for p in SUITE]
+    assert len(set(salts)) == len(salts)
+
+
+def test_get_profile():
+    assert get_profile("mysql") is SUITE_BY_NAME["mysql"]
+
+
+def test_get_profile_unknown():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_profile("oracle-db")
+
+
+def test_verilator_is_chain_dispatched():
+    assert get_profile("verilator").dispatcher == "chain"
+    assert all(
+        p.dispatcher == "zipf" for p in SUITE if p.name != "verilator"
+    )
+
+
+def test_xgboost_extremes():
+    xgb = get_profile("xgboost")
+    assert xgb.random_branch_frac >= 0.5  # sea of unpredictable branches
+    assert xgb.w_tree > 0  # decision-tree regions
+    assert xgb.zipf_alpha < 0.2  # little reuse
+    assert xgb.load_dependence_fraction is not None  # slow resolution
+
+
+def test_profiles_are_frozen():
+    import dataclasses
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        get_profile("mysql").bias = 0.5  # type: ignore[misc]

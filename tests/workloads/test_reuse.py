@@ -1,0 +1,51 @@
+"""Reuse-distance analysis."""
+
+from repro.workloads import micro
+from repro.workloads.reuse import ReuseProfile, code_reuse_profile
+from repro.workloads.synth import synthesize
+from repro.workloads.profiles import get_profile
+
+
+def test_tiny_loop_all_reuse_distance_zero():
+    program = micro.straight_loop(body_instrs=8)  # one line, revisited
+    profile = code_reuse_profile(program, num_blocks=50)
+    assert profile.cold_accesses == 1
+    assert set(profile.histogram) <= {0}
+
+
+def test_round_robin_distances():
+    # 4 hops x 2 blocks, each hop ~1 line apart: cyclic reuse.
+    program = micro.always_taken_chain(num_hops=4)
+    profile = code_reuse_profile(program, num_blocks=100)
+    assert profile.cold_accesses >= 4
+    assert profile.total_accesses > 50
+    # Cyclic access over N distinct lines -> constant distance N-1.
+    assert profile.median_distance is not None
+
+
+def test_hit_rate_monotone_in_capacity():
+    program = synthesize(get_profile("mediawiki"), 1)
+    profile = code_reuse_profile(program, num_blocks=2_000)
+    rates = [profile.hit_rate_at(c) for c in (8, 64, 512, 4096)]
+    assert rates == sorted(rates)
+    assert rates[-1] <= 1.0
+
+
+def test_miss_curve_shape():
+    program = synthesize(get_profile("mediawiki"), 1)
+    profile = code_reuse_profile(program, num_blocks=2_000)
+    curve = profile.miss_curve([64, 512])
+    assert curve[0][1] >= curve[1][1]
+
+
+def test_large_footprint_needs_more_capacity():
+    small = code_reuse_profile(synthesize(get_profile("mediawiki"), 1), 3_000)
+    large = code_reuse_profile(synthesize(get_profile("gcc"), 1), 3_000)
+    # At L1I capacity (512 lines), the large-footprint app misses more.
+    assert large.hit_rate_at(512) < small.hit_rate_at(512) + 0.05
+
+
+def test_empty_profile():
+    profile = ReuseProfile()
+    assert profile.hit_rate_at(100) == 0.0
+    assert profile.median_distance is None
