@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Drive the parallel experiment engine directly: build a (workload x FTQ
+depth) RunSpec grid, fan it out over REPRO_JOBS worker processes, and watch
+the per-run progress and cache counters.
+
+Run it twice to see the on-disk result cache in action — the second
+invocation finishes with zero simulator invocations (all cache hits).
+
+Run:
+    python examples/parallel_sweep.py [workloads] [instructions]
+    python examples/parallel_sweep.py mysql,xgboost 10000
+"""
+
+import sys
+import time
+
+from repro import BatchStats, baseline_config, run_batch, spec_for
+
+DEPTHS = [8, 16, 32, 64]
+
+
+def main() -> None:
+    workloads = (sys.argv[1] if len(sys.argv) > 1 else "mysql,xgboost").split(",")
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    base = baseline_config(instructions)
+    specs = [
+        spec_for(workload, base.with_ftq_depth(depth), label=f"ftq{depth}")
+        for workload in workloads
+        for depth in DEPTHS
+    ]
+
+    stats = BatchStats()
+
+    def progress(event):
+        stats(event)
+        source = "cache" if event.cached else f"{event.seconds:.2f}s"
+        print(f"  [{event.completed:2d}/{event.total}] "
+              f"{event.spec.workload}/{event.spec.label} ({source})")
+
+    print(f"batch of {len(specs)} runs "
+          f"({len(workloads)} workloads x {len(DEPTHS)} depths, "
+          f"{instructions} instructions/run)")
+    started = time.perf_counter()
+    results = run_batch(specs, progress=progress)
+    wall = time.perf_counter() - started
+
+    print(f"\n{stats.summary()}; batch wall-clock {wall:.2f}s")
+
+    by_key = {(s.workload, s.label): r for s, r in zip(specs, results)}
+    print(f"\n{'workload':>12s} " + " ".join(f"ftq{d:>4d}" for d in DEPTHS))
+    for workload in workloads:
+        ipcs = [by_key[(workload, f'ftq{d}')].ipc for d in DEPTHS]
+        print(f"{workload:>12s} " + " ".join(f"{ipc:7.3f}" for ipc in ipcs))
+    print("\n(IPC per FTQ depth; rerun this script for an all-cache-hits batch.)")
+
+
+if __name__ == "__main__":
+    main()

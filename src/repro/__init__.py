@@ -9,6 +9,16 @@ Public API tour::
     udp = run_workload("xgboost", udp_config(max_instructions=20_000))
     print(udp.ipc / base.ipc)   # UDP's IPC speedup over fixed-FTQ FDIP
 
+Batches (sweeps over workload x config x seed) go through the parallel
+experiment engine, which fans out over ``REPRO_JOBS`` processes and caches
+results on disk (see ``docs/running_experiments.md``)::
+
+    from repro import run_batch, spec_for
+
+    specs = [spec_for(w, baseline_config(20_000), label="base")
+             for w in ("xgboost", "gcc")]
+    base_x, base_gcc = run_batch(specs)
+
 Layers (bottom-up):
 
 * :mod:`repro.workloads` — synthetic datacenter programs + ground-truth oracle
@@ -23,6 +33,16 @@ Layers (bottom-up):
 """
 
 from repro.common.config import SimConfig, UDPConfig, UFTQConfig
+from repro.sim.engine import (
+    BatchStats,
+    ResultCache,
+    RunEvent,
+    RunSpec,
+    default_cache,
+    run_batch,
+    set_default_progress,
+    spec_for,
+)
 from repro.sim.metrics import SimResult, geomean, speedup
 from repro.sim.presets import (
     baseline_config,
@@ -48,6 +68,14 @@ from repro.workloads.synth import synthesize
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchStats",
+    "ResultCache",
+    "RunEvent",
+    "RunSpec",
+    "default_cache",
+    "run_batch",
+    "set_default_progress",
+    "spec_for",
     "SimConfig",
     "UDPConfig",
     "UFTQConfig",

@@ -9,6 +9,11 @@ rows the paper plots.  Scale knobs:
 * the ``REPRO_BENCH_SCALE`` environment variable multiplies instruction
   counts in the benchmark harness (see ``benchmarks/common.py``).
 
+Every driver builds its full (workload x config) spec grid and submits it
+through :func:`repro.sim.engine.run_batch`, so experiments parallelize over
+``REPRO_JOBS`` worker processes and reuse the on-disk result cache (see
+``docs/running_experiments.md``).
+
 Results are *shapes*, not absolute matches: EXPERIMENTS.md records where
 this reproduction agrees with and deviates from the paper.
 """
@@ -18,6 +23,7 @@ from __future__ import annotations
 from repro.analysis.speedup import pct, pearson, summarize_speedups
 from repro.analysis.tables import format_series, format_table
 from repro.common.config import SimConfig
+from repro.sim.engine import RunSpec, run_batch, spec_for
 from repro.sim.metrics import SimResult, geomean
 from repro.sim.presets import (
     baseline_config,
@@ -28,7 +34,6 @@ from repro.sim.presets import (
     udp_config,
     uftq_config,
 )
-from repro.sim.runner import run_workload, sweep_ftq_depths
 from repro.workloads.profiles import PAPER_TABLE3, SUITE
 
 ALL_WORKLOADS = [p.name for p in SUITE]
@@ -37,6 +42,12 @@ DEFAULT_DEPTHS = [8, 16, 32, 48, 64, 96]
 
 def _workloads(workloads: list[str] | None) -> list[str]:
     return list(workloads) if workloads is not None else list(ALL_WORKLOADS)
+
+
+def _batch(specs: list[RunSpec]) -> dict[tuple[str, str], SimResult]:
+    """Run a spec grid through the engine, indexed by (workload, label)."""
+    results = run_batch(specs)
+    return {(s.workload, s.label): r for s, r in zip(specs, results)}
 
 
 # ---------------------------------------------------------------------------
@@ -49,13 +60,21 @@ def fig1_perfect_icache(
 ) -> dict:
     """IPC speedup of a perfect L1I over the FDIP baseline (Fig 1)."""
     names = _workloads(workloads)
+    runs = _batch(
+        [
+            spec
+            for name in names
+            for spec in (
+                spec_for(name, baseline_config(instructions, seed), seed, "baseline"),
+                spec_for(name, perfect_icache_config(instructions, seed), seed, "perfect"),
+            )
+        ]
+    )
     rows = []
     ratios: dict[str, float] = {}
     for name in names:
-        base = run_workload(name, baseline_config(instructions, seed), "baseline", seed)
-        perfect = run_workload(
-            name, perfect_icache_config(instructions, seed), "perfect", seed
-        )
+        base = runs[(name, "baseline")]
+        perfect = runs[(name, "perfect")]
         ratio = perfect.ipc / base.ipc if base.ipc else 1.0
         ratios[name] = ratio
         rows.append([name, base.ipc, perfect.ipc, pct(ratio)])
@@ -82,13 +101,24 @@ def ftq_sweep_suite(
     instructions: int = 25_000,
     seed: int = 1,
 ) -> dict[str, dict[int, SimResult]]:
-    """The shared fixed-depth sweep behind Figs 3, 4, 5, 6, 8 and Table III."""
+    """The shared fixed-depth sweep behind Figs 3, 4, 5, 6, 8 and Table III.
+
+    The full (workload x depth) grid is submitted as one engine batch, so
+    it parallelizes across both axes under ``REPRO_JOBS``.
+    """
     names = _workloads(workloads)
     depths = list(depths) if depths is not None else list(DEFAULT_DEPTHS)
-    return {
-        name: sweep_ftq_depths(name, baseline_config(instructions, seed), depths, seed)
+    base = baseline_config(instructions, seed)
+    specs = [
+        spec_for(name, base.with_ftq_depth(depth), seed, f"ftq{depth}")
         for name in names
-    }
+        for depth in depths
+    ]
+    results = run_batch(specs)
+    out: dict[str, dict[int, SimResult]] = {name: {} for name in names}
+    for spec, result in zip(specs, results):
+        out[spec.workload][spec.config.frontend.ftq_depth] = result
+    return out
 
 
 def _sweep_series(
@@ -241,25 +271,34 @@ def fig11_uftq_speedup(
         "uftq-atr": uftq_config("atr", instructions, seed),
         "uftq-atr-aur": uftq_config("atr-aur", instructions, seed),
     }
+    specs: list[RunSpec] = []
+    for name in names:
+        specs.append(spec_for(name, baseline_config(instructions, seed), seed, "baseline"))
+        for cname, config in configs.items():
+            specs.append(spec_for(name, config, seed, cname))
+        opt_depth = (opt_depths or {}).get(name, 32)
+        specs.append(
+            spec_for(
+                name,
+                baseline_config(instructions, seed).with_ftq_depth(opt_depth),
+                seed,
+                "opt",
+            )
+        )
+    runs = _batch(specs)
     results: dict[str, dict[str, SimResult]] = {name: {} for name in names}
     speedups: dict[str, dict[str, float]] = {c: {} for c in list(configs) + ["opt"]}
     rows = []
     for name in names:
-        base = run_workload(name, baseline_config(instructions, seed), "baseline", seed)
+        base = runs[(name, "baseline")]
         results[name]["baseline"] = base
         row = [name]
-        for cname, config in configs.items():
-            r = run_workload(name, config, cname, seed)
+        for cname in configs:
+            r = runs[(name, cname)]
             results[name][cname] = r
             speedups[cname][name] = r.ipc / base.ipc
             row.append(pct(r.ipc / base.ipc))
-        opt_depth = (opt_depths or {}).get(name, 32)
-        opt = run_workload(
-            name,
-            baseline_config(instructions, seed).with_ftq_depth(opt_depth),
-            "opt",
-            seed,
-        )
+        opt = runs[(name, "opt")]
         results[name]["opt"] = opt
         speedups["opt"][name] = opt.ipc / base.ipc
         row.append(pct(opt.ipc / base.ipc))
@@ -317,15 +356,22 @@ def fig13_udp_speedup(
         "icache-40k": bigger_icache_config(instructions, seed),
         "eip-8k": eip_config(instructions, seed),
     }
+    specs = [
+        spec_for(name, config, seed, cname)
+        for name in names
+        for cname, config in [("baseline", baseline_config(instructions, seed))]
+        + list(configs.items())
+    ]
+    runs = _batch(specs)
     results: dict[str, dict[str, SimResult]] = {}
     speedups: dict[str, dict[str, float]] = {c: {} for c in configs}
     rows = []
     for name in names:
-        base = run_workload(name, baseline_config(instructions, seed), "baseline", seed)
+        base = runs[(name, "baseline")]
         results[name] = {"baseline": base}
         row = [name]
-        for cname, config in configs.items():
-            r = run_workload(name, config, cname, seed)
+        for cname in configs:
+            r = runs[(name, cname)]
             results[name][cname] = r
             speedups[cname][name] = r.ipc / base.ipc
             row.append(pct(r.ipc / base.ipc))
@@ -399,21 +445,32 @@ def fig16_btb_sensitivity(
     """UDP speedup across BTB capacities (Fig 16)."""
     names = _workloads(workloads)
     sizes = btb_sizes if btb_sizes is not None else [1024, 2048, 4096, 8192, 16384]
+    runs = _batch(
+        [
+            spec
+            for size in sizes
+            for name in names
+            for spec in (
+                spec_for(
+                    name,
+                    baseline_config(instructions, seed).with_btb_entries(size),
+                    seed,
+                    f"base-btb{size}",
+                ),
+                spec_for(
+                    name,
+                    udp_config(instructions, seed).with_btb_entries(size),
+                    seed,
+                    f"udp-btb{size}",
+                ),
+            )
+        ]
+    )
     series: dict[str, list[float]] = {name: [] for name in names}
     for size in sizes:
         for name in names:
-            base = run_workload(
-                name,
-                baseline_config(instructions, seed).with_btb_entries(size),
-                f"base-btb{size}",
-                seed,
-            )
-            udp = run_workload(
-                name,
-                udp_config(instructions, seed).with_btb_entries(size),
-                f"udp-btb{size}",
-                seed,
-            )
+            base = runs[(name, f"base-btb{size}")]
+            udp = runs[(name, f"udp-btb{size}")]
             series[name].append(pct(udp.ipc / base.ipc))
     return {
         "experiment": "fig16",
@@ -434,21 +491,32 @@ def fig17_ftq_sensitivity(
     """UDP speedup across FTQ depths (Fig 17)."""
     names = _workloads(workloads)
     depth_list = depths if depths is not None else [16, 32, 48, 64]
+    runs = _batch(
+        [
+            spec
+            for depth in depth_list
+            for name in names
+            for spec in (
+                spec_for(
+                    name,
+                    baseline_config(instructions, seed, ftq_depth=depth),
+                    seed,
+                    f"base-ftq{depth}",
+                ),
+                spec_for(
+                    name,
+                    udp_config(instructions, seed, ftq_depth=depth),
+                    seed,
+                    f"udp-ftq{depth}",
+                ),
+            )
+        ]
+    )
     series: dict[str, list[float]] = {name: [] for name in names}
     for depth in depth_list:
         for name in names:
-            base = run_workload(
-                name,
-                baseline_config(instructions, seed, ftq_depth=depth),
-                f"base-ftq{depth}",
-                seed,
-            )
-            udp = run_workload(
-                name,
-                udp_config(instructions, seed, ftq_depth=depth),
-                f"udp-ftq{depth}",
-                seed,
-            )
+            base = runs[(name, f"base-ftq{depth}")]
+            udp = runs[(name, f"udp-ftq{depth}")]
             series[name].append(pct(udp.ipc / base.ipc))
     return {
         "experiment": "fig17",

@@ -5,17 +5,27 @@ Usage (after ``pip install -e .``)::
     python -m repro list-workloads
     python -m repro run -w xgboost -c udp -n 20000
     python -m repro compare -w xgboost,gcc -c baseline,udp,perfect-icache
-    python -m repro figure fig3 -w mysql,verilator -n 15000
+    python -m repro figure fig3 -w mysql,verilator -n 15000 --jobs 4 --progress
     python -m repro trace -w mysql --blocks 3000 -o mysql.trace.jsonl
+    python -m repro cache info
+    python -m repro cache clear
+
+Simulation-running commands accept engine knobs: ``--jobs N`` (worker
+processes; default ``REPRO_JOBS`` or all cores), ``--no-cache`` (bypass the
+on-disk result cache), and ``--progress`` (per-run progress lines on
+stderr).  A batch summary (runs / cache hits / simulator seconds) is always
+printed after the command.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
+from repro.sim import engine
 from repro.sim.presets import PRESET_BUILDERS
 from repro.sim.runner import program_for, run_workload
 from repro.workloads.profiles import SUITE
@@ -28,6 +38,53 @@ def _parse_workloads(value: str | None) -> list[str] | None:
     if not value:
         return None
     return [w.strip() for w in value.split(",") if w.strip()]
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for simulation batches (default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one progress line per completed run to stderr",
+    )
+
+
+def _install_engine_options(args) -> engine.BatchStats:
+    """Apply --jobs/--no-cache and install the progress callback.
+
+    The knobs are exported as environment variables so every nested
+    ``run_batch`` call (wrappers, experiment drivers) picks them up.
+    """
+    if getattr(args, "jobs", None) is not None:
+        os.environ[engine.JOBS_ENV] = str(args.jobs)
+    if getattr(args, "no_cache", False):
+        os.environ[engine.NO_CACHE_ENV] = "1"
+    stats = engine.BatchStats()
+    verbose = getattr(args, "progress", False)
+
+    def callback(event: engine.RunEvent) -> None:
+        stats(event)
+        if verbose:
+            source = "cache hit" if event.cached else f"{event.seconds:.2f}s"
+            print(
+                f"[{event.completed}/{event.total}] "
+                f"{event.spec.workload}/{event.spec.label} ({source})",
+                file=sys.stderr,
+            )
+
+    engine.set_default_progress(callback)
+    return stats
+
+
+def _print_engine_summary(stats: engine.BatchStats) -> None:
+    if stats.runs:
+        print(stats.summary(), file=sys.stderr)
 
 
 def cmd_list_workloads(_args) -> int:
@@ -46,6 +103,7 @@ def cmd_list_configs(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    stats = _install_engine_options(args)
     config = PRESET_BUILDERS[args.config](args.instructions)
     result = run_workload(args.workload, config, args.config, seed=args.seed)
     summary = result.summary()
@@ -55,20 +113,30 @@ def cmd_run(args) -> int:
     if args.counters:
         for name, value in sorted(result.counters.items()):
             print(f"{name} = {value}")
+    _print_engine_summary(stats)
     return 0
 
 
 def cmd_compare(args) -> int:
+    stats = _install_engine_options(args)
     workloads = _parse_workloads(args.workloads) or [p.name for p in SUITE]
     configs = _parse_workloads(args.configs) or ["baseline", "udp"]
+    specs = [
+        engine.spec_for(
+            workload, PRESET_BUILDERS[config_name](args.instructions),
+            args.seed, config_name,
+        )
+        for workload in workloads
+        for config_name in configs
+    ]
+    runs = dict(zip(((s.workload, s.label) for s in specs), engine.run_batch(specs)))
     headers = ["workload"] + [f"{c} IPC" for c in configs]
     rows = []
     for workload in workloads:
         row: list[object] = [workload]
         base_ipc = None
         for config_name in configs:
-            config = PRESET_BUILDERS[config_name](args.instructions)
-            result = run_workload(workload, config, config_name, seed=args.seed)
+            result = runs[(workload, config_name)]
             if base_ipc is None:
                 base_ipc = result.ipc
                 row.append(f"{result.ipc:.3f}")
@@ -77,10 +145,12 @@ def cmd_compare(args) -> int:
                 row.append(f"{result.ipc:.3f} ({pct:+.1f}%)")
         rows.append(row)
     print(format_table(headers, rows, title=f"{args.instructions} instructions/run"))
+    _print_engine_summary(stats)
     return 0
 
 
 def cmd_figure(args) -> int:
+    stats = _install_engine_options(args)
     workloads = _parse_workloads(args.workloads)
     name = args.name
     if name in _FIGURES_NEEDING_SWEEP:
@@ -119,6 +189,7 @@ def cmd_figure(args) -> int:
         print(f"unknown figure {name!r}", file=sys.stderr)
         return 2
     print(result["table"])
+    _print_engine_summary(stats)
     return 0
 
 
@@ -153,6 +224,7 @@ def cmd_characterize(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import write_report
 
+    stats = _install_engine_options(args)
     write_report(
         args.out,
         workloads=_parse_workloads(args.workloads),
@@ -160,7 +232,25 @@ def cmd_report(args) -> int:
         sweep_workloads=_parse_workloads(args.sweep_workloads),
     )
     print(f"wrote {args.out}")
+    _print_engine_summary(stats)
     return 0
+
+
+def cmd_cache(args) -> int:
+    cache = engine.default_cache()
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache directory : {info.root}")
+        print(f"cached results  : {info.entries}")
+        print(f"total size      : {info.size_bytes / 1024:.1f} KiB")
+        print(f"key fingerprint : {engine.package_fingerprint()}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    print(f"unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_reuse(args) -> int:
@@ -199,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-n", "--instructions", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--counters", action="store_true", help="dump raw counters")
+    _add_engine_args(run)
     run.set_defaults(fn=cmd_run)
 
     compare = sub.add_parser("compare", help="IPC table across workloads x configs")
@@ -206,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-c", "--configs", default="baseline,udp")
     compare.add_argument("-n", "--instructions", type=int, default=20_000)
     compare.add_argument("--seed", type=int, default=1)
+    _add_engine_args(compare)
     compare.set_defaults(fn=cmd_compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure/table")
@@ -217,7 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("-w", "--workloads", default="")
     figure.add_argument("-n", "--instructions", type=int, default=15_000)
+    _add_engine_args(figure)
     figure.set_defaults(fn=cmd_figure)
+
+    cache = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.set_defaults(fn=cmd_cache)
 
     trace = sub.add_parser("trace", help="export an oracle trace to JSONL")
     trace.add_argument("-w", "--workload", default="mysql")
@@ -240,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-w", "--workloads", default="")
     report.add_argument("--sweep-workloads", default="")
     report.add_argument("-n", "--instructions", type=int, default=15_000)
+    _add_engine_args(report)
     report.set_defaults(fn=cmd_report)
 
     reuse = sub.add_parser(

@@ -1,6 +1,16 @@
 """Simulation: the cycle-level core model, run drivers, presets, metrics."""
 
 from repro.sim.energy import EnergyModel, EnergyReport, efficiency_comparison, energy_report
+from repro.sim.engine import (
+    BatchStats,
+    ResultCache,
+    RunEvent,
+    RunSpec,
+    default_cache,
+    run_batch,
+    set_default_progress,
+    spec_for,
+)
 from repro.sim.metrics import SimResult, geomean, speedup
 from repro.sim.presets import (
     PRESET_BUILDERS,
@@ -28,6 +38,14 @@ from repro.sim.runner import (
 from repro.sim.simulator import Simulator
 
 __all__ = [
+    "BatchStats",
+    "ResultCache",
+    "RunEvent",
+    "RunSpec",
+    "default_cache",
+    "run_batch",
+    "set_default_progress",
+    "spec_for",
     "EnergyModel",
     "EnergyReport",
     "efficiency_comparison",

@@ -1,0 +1,476 @@
+"""Parallel experiment engine: run-spec batches, process pools, disk cache.
+
+Every figure in the reproduction is a sweep over (workload x config x seed)
+tuples.  This module is the single entry point that executes such sweeps:
+
+* :class:`RunSpec` — a frozen description of one simulation (workload or
+  explicit program, configuration, seed, presentation label).
+* :func:`run_batch` — execute a batch of specs, fanning out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (worker count from the
+  ``REPRO_JOBS`` environment variable, default ``os.cpu_count()``), and
+  return results **in spec order** regardless of completion order.
+* :class:`ResultCache` — a content-addressed on-disk cache of serialized
+  :class:`~repro.sim.metrics.SimResult` objects under ``~/.cache/repro``
+  (override with ``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1`` or
+  ``run_batch(..., no_cache=True)``).  Writes are atomic; a corrupted cache
+  file is treated as a miss, never a crash.
+* :class:`RunEvent` / :class:`BatchStats` — per-run progress and timing
+  callbacks (runs completed, cache hits, wall-clock per run) surfaced by
+  the CLI.
+
+The legacy drivers in :mod:`repro.sim.runner` (``run_program``,
+``run_workload``, ``run_suite``, ``sweep_ftq_depths``) are thin wrappers
+that build specs and submit them here.
+
+Cache keys cover the full configuration dataclass (which includes the
+instruction count), the profile name, the seed, and a fingerprint of the
+installed package source, so editing any simulator module invalidates stale
+entries automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.common.config import SimConfig
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.program import Program
+from repro.workloads.synth import synthesize
+
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+_CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Program synthesis cache (shared with runner.program_for)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=32)
+def _cached_program(profile_name: str, seed: int) -> Program:
+    return synthesize(get_profile(profile_name), seed)
+
+
+def program_for(profile: WorkloadProfile | str, seed: int = 1) -> Program:
+    """The (cached) synthetic program for a profile."""
+    name = profile if isinstance(profile, str) else profile.name
+    return _cached_program(name, seed)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation to run: (workload | program) x config x seed x label.
+
+    ``workload`` names a suite profile (see :data:`repro.workloads.profiles.SUITE`)
+    unless ``program`` is given, in which case the explicit program is
+    simulated and ``workload`` is just the reported name.  ``label`` becomes
+    the result's ``config_name``; it is presentation only and does not enter
+    the cache key, so e.g. ``ftq32`` and ``base-ftq32`` runs of the same
+    configuration share one cache entry.
+    """
+
+    workload: str
+    config: SimConfig
+    seed: int = 1
+    label: str = "custom"
+    program: Program | None = dataclasses.field(
+        default=None, compare=False, hash=False
+    )
+
+    @property
+    def cacheable(self) -> bool:
+        """Only profile-derived runs are content-addressable on disk."""
+        return self.program is None
+
+
+def spec_for(
+    profile: WorkloadProfile | str,
+    config: SimConfig,
+    seed: int = 1,
+    label: str = "custom",
+) -> RunSpec:
+    """Build a :class:`RunSpec` for a suite workload profile."""
+    name = profile if isinstance(profile, str) else profile.name
+    return RunSpec(workload=name, config=config, seed=seed, label=label)
+
+
+# ---------------------------------------------------------------------------
+# Execution of a single spec (runs inside pool workers)
+# ---------------------------------------------------------------------------
+
+
+def _execute(spec: RunSpec) -> tuple[SimResult, float]:
+    """Simulate one spec; returns (result, wall-clock seconds)."""
+    started = time.perf_counter()
+    if spec.program is not None:
+        simulator = Simulator(spec.program, spec.config)
+    else:
+        prof = get_profile(spec.workload)
+        program = program_for(spec.workload, spec.seed)
+        config = spec.config
+        # Profiles may pin workload-intrinsic core parameters (a property of
+        # the code, not of the technique under test); apply them on top of the
+        # spec's config so every technique sees the same workload behaviour.
+        if prof.load_dependence_fraction is not None:
+            core = dataclasses.replace(
+                config.core, load_dependence_fraction=prof.load_dependence_fraction
+            )
+            config = config.replace(core=core)
+        simulator = Simulator(program, config, data_profile=prof.data)
+    simulator.run()
+    result = SimResult(
+        workload=spec.workload,
+        config_name=spec.label,
+        counters=simulator.measured_counters(),
+        avg_ftq_occupancy=simulator.ftq.average_occupancy,
+        final_ftq_depth=simulator.ftq.depth,
+    )
+    return result, time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1)
+def package_fingerprint() -> str:
+    """Hash of every ``repro`` source file plus the package version.
+
+    Included in each cache key so that editing any simulator module (or
+    bumping the version) invalidates every stale entry without a manual
+    ``repro cache clear``.
+    """
+    digest = hashlib.sha256()
+    root = Path(__file__).resolve().parents[1]
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - racing file removal
+            continue
+    try:
+        from repro import __version__
+
+        digest.update(__version__.encode())
+    except Exception:  # pragma: no cover - partial install
+        pass
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of the on-disk cache (``repro cache info``)."""
+
+    root: str
+    entries: int
+    size_bytes: int
+
+
+def cache_root() -> Path:
+    """The active cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of serialized :class:`SimResult` objects.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256 of
+    the canonical JSON of (schema, package fingerprint, workload, seed,
+    instruction count, full config dataclass).  Values carry the result's
+    ``to_dict()`` form.  ``put`` writes atomically (temp file + ``os.replace``)
+    and swallows filesystem errors; ``get`` treats any unreadable or
+    malformed file as a miss.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else cache_root()
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, spec: RunSpec) -> str:
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "fingerprint": package_fingerprint(),
+            "workload": spec.workload,
+            "seed": spec.seed,
+            "instructions": spec.config.max_instructions,
+            "config": dataclasses.asdict(spec.config),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write ----------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> SimResult | None:
+        """The cached result for ``spec``, or ``None`` on any kind of miss."""
+        if not spec.cacheable:
+            return None
+        try:
+            raw = self.path_for(spec).read_text(encoding="utf-8")
+            data = json.loads(raw)
+            if data.get("schema") != _CACHE_SCHEMA:
+                return None
+            result = SimResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        # The label is presentation-only and not part of the key; restamp it
+        # so differently-labelled submissions of one config read correctly.
+        result.workload = spec.workload
+        result.config_name = spec.label
+        return result
+
+    def put(self, spec: RunSpec, result: SimResult) -> None:
+        """Atomically persist ``result``; filesystem errors are non-fatal."""
+        if not spec.cacheable:
+            return
+        path = self.path_for(spec)
+        payload = {"schema": _CACHE_SCHEMA, "result": result.to_dict()}
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entry_paths(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return []
+        return self.root.glob("*/*.json")
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        size = 0
+        for path in self._entry_paths():
+            try:
+                size += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+        return CacheInfo(root=str(self.root), entries=entries, size_bytes=size)
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+
+def default_cache() -> ResultCache:
+    """The cache at the active :func:`cache_root`."""
+    return ResultCache()
+
+
+def _cache_disabled_by_env() -> bool:
+    return os.environ.get(NO_CACHE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+# ---------------------------------------------------------------------------
+# Progress callbacks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One completed run inside a batch (delivered to progress callbacks)."""
+
+    index: int  # position in the submitted spec list
+    spec: RunSpec
+    result: SimResult
+    cached: bool  # served from the disk cache (no simulator invocation)
+    seconds: float  # wall-clock for this run (lookup time on a hit)
+    completed: int  # runs finished so far in this batch
+    total: int
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+_default_progress: ProgressCallback | None = None
+
+
+def set_default_progress(callback: ProgressCallback | None) -> ProgressCallback | None:
+    """Install a progress callback used when ``run_batch`` gets none.
+
+    Returns the previous callback so callers can restore it.
+    """
+    global _default_progress
+    previous = _default_progress
+    _default_progress = callback
+    return previous
+
+
+class BatchStats:
+    """A progress callback that accumulates batch counters.
+
+    ``simulated`` counts actual simulator invocations — a warm-cache rerun
+    of a batch finishes with ``simulated == 0`` and ``cache_hits == runs``.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.cache_hits = 0
+        self.simulated = 0
+        self.sim_seconds = 0.0
+
+    def __call__(self, event: RunEvent) -> None:
+        self.runs += 1
+        if event.cached:
+            self.cache_hits += 1
+        else:
+            self.simulated += 1
+            self.sim_seconds += event.seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} runs: {self.simulated} simulated "
+            f"({self.sim_seconds:.2f}s), {self.cache_hits} cache hits"
+        )
+
+
+# ---------------------------------------------------------------------------
+# run_batch
+# ---------------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def run_batch(
+    specs: Sequence[RunSpec] | Iterable[RunSpec],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    no_cache: bool = False,
+    progress: ProgressCallback | None = None,
+) -> list[SimResult]:
+    """Execute a batch of :class:`RunSpec` and return results in spec order.
+
+    Cache hits are resolved first (in spec order); the remaining specs fan
+    out over a process pool when more than one worker is available and more
+    than one run is pending, otherwise they execute in-process.  Completion
+    order never affects the returned order.
+    """
+    spec_list = list(specs)
+    total = len(spec_list)
+    callback = progress if progress is not None else _default_progress
+
+    if no_cache or _cache_disabled_by_env():
+        active_cache: ResultCache | None = None
+    else:
+        active_cache = cache if cache is not None else default_cache()
+
+    results: list[SimResult | None] = [None] * total
+    completed = 0
+    pending: list[int] = []
+
+    for index, spec in enumerate(spec_list):
+        hit = None
+        lookup_started = time.perf_counter()
+        if active_cache is not None:
+            hit = active_cache.get(spec)
+        if hit is None:
+            pending.append(index)
+            continue
+        results[index] = hit
+        completed += 1
+        if callback is not None:
+            callback(
+                RunEvent(
+                    index=index,
+                    spec=spec,
+                    result=hit,
+                    cached=True,
+                    seconds=time.perf_counter() - lookup_started,
+                    completed=completed,
+                    total=total,
+                )
+            )
+
+    def finish(index: int, result: SimResult, seconds: float) -> None:
+        nonlocal completed
+        if active_cache is not None:
+            active_cache.put(spec_list[index], result)
+        results[index] = result
+        completed += 1
+        if callback is not None:
+            callback(
+                RunEvent(
+                    index=index,
+                    spec=spec_list[index],
+                    result=result,
+                    cached=False,
+                    seconds=seconds,
+                    completed=completed,
+                    total=total,
+                )
+            )
+
+    workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
+    if workers <= 1:
+        for index in pending:
+            result, seconds = _execute(spec_list[index])
+            finish(index, result, seconds)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute, spec_list[index]): index for index in pending
+            }
+            for future in as_completed(futures):
+                result, seconds = future.result()
+                finish(futures[future], result, seconds)
+
+    return results  # type: ignore[return-value]

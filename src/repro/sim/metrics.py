@@ -129,6 +129,39 @@ class SimResult:
     def resteers_per_kilo_instruction(self) -> float:
         return ratio(self.resteers * 1000.0, self.retired)
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Stable plain-data form (disk cache, reports, JSON export).
+
+        The ``metrics`` block is derived and purely informational;
+        :meth:`from_dict` reconstructs everything from the raw fields and
+        ignores it, so ``from_dict(to_dict(r)) == r`` always holds.
+        """
+        return {
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "counters": dict(self.counters),
+            "avg_ftq_occupancy": self.avg_ftq_occupancy,
+            "final_ftq_depth": self.final_ftq_depth,
+            "metrics": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input
+        (the disk cache treats those as a miss).
+        """
+        return cls(
+            workload=str(data["workload"]),
+            config_name=str(data["config_name"]),
+            counters={str(k): int(v) for k, v in dict(data["counters"]).items()},
+            avg_ftq_occupancy=float(data.get("avg_ftq_occupancy", 0.0)),
+            final_ftq_depth=int(data.get("final_ftq_depth", 0)),
+        )
+
     def summary(self) -> dict[str, float]:
         """The headline numbers as a flat dict (report/table rendering)."""
         return {

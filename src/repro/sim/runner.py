@@ -1,32 +1,31 @@
 """Run drivers: one simulation, per-workload runs, and parameter sweeps.
 
-These are the functions the examples and benchmark harness call.  Programs
-are synthesized (and cached per ``(profile, seed)``) so that sweeping a
-configuration over the suite does not re-pay synthesis costs.
+.. deprecated::
+    These are the legacy entry points the examples and benchmark harness
+    historically called.  They are now thin wrappers that build
+    :class:`~repro.sim.engine.RunSpec` batches and submit them through
+    :func:`~repro.sim.engine.run_batch`, which adds process-pool parallelism
+    (``REPRO_JOBS``) and the on-disk result cache (``REPRO_CACHE_DIR`` /
+    ``REPRO_NO_CACHE``).  New code should build specs and call ``run_batch``
+    directly.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from functools import lru_cache
-
 from repro.common.config import SimConfig
+from repro.sim.engine import RunSpec, program_for, run_batch, spec_for
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import Simulator
-from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.program import Program
-from repro.workloads.synth import synthesize
 
-
-@lru_cache(maxsize=32)
-def _cached_program(profile_name: str, seed: int) -> Program:
-    return synthesize(get_profile(profile_name), seed)
-
-
-def program_for(profile: WorkloadProfile | str, seed: int = 1) -> Program:
-    """The (cached) synthetic program for a profile."""
-    name = profile if isinstance(profile, str) else profile.name
-    return _cached_program(name, seed)
+__all__ = [
+    "program_for",
+    "run_program",
+    "run_workload",
+    "sweep_ftq_depths",
+    "run_suite",
+    "optimal_ftq_depth",
+]
 
 
 def run_program(
@@ -35,17 +34,20 @@ def run_program(
     workload_name: str = "custom",
     config_name: str = "custom",
 ) -> SimResult:
-    """Simulate an explicit program and wrap the result."""
-    simulator = Simulator(program, config)
-    simulator.run()
-    counters = simulator.measured_counters()
-    return SimResult(
+    """Simulate an explicit program and wrap the result.
+
+    .. deprecated:: prefer ``run_batch([RunSpec(..., program=...)])``.
+        Explicit-program runs are not content-addressable, so they never hit
+        the disk cache.
+    """
+    spec = RunSpec(
         workload=workload_name,
-        config_name=config_name,
-        counters=counters,
-        avg_ftq_occupancy=simulator.ftq.average_occupancy,
-        final_ftq_depth=simulator.ftq.depth,
+        config=config,
+        seed=config.seed,
+        label=config_name,
+        program=program,
     )
+    return run_batch([spec])[0]
 
 
 def run_workload(
@@ -58,26 +60,13 @@ def run_workload(
 
     Profiles may pin workload-intrinsic core parameters (currently the
     load-dependence fraction — a property of the code, not of the technique
-    under test); those are applied on top of ``config`` here so that every
-    technique sees the same workload behaviour.
+    under test); those are applied on top of ``config`` by the engine so that
+    every technique sees the same workload behaviour.
+
+    .. deprecated:: prefer ``run_batch([spec_for(profile, config, ...)])``,
+        which amortizes pool startup across many runs.
     """
-    name = profile if isinstance(profile, str) else profile.name
-    prof = get_profile(name)
-    program = program_for(name, seed)
-    if prof.load_dependence_fraction is not None:
-        core = dataclasses.replace(
-            config.core, load_dependence_fraction=prof.load_dependence_fraction
-        )
-        config = config.replace(core=core)
-    simulator = Simulator(program, config, data_profile=prof.data)
-    simulator.run()
-    return SimResult(
-        workload=name,
-        config_name=config_name,
-        counters=simulator.measured_counters(),
-        avg_ftq_occupancy=simulator.ftq.average_occupancy,
-        final_ftq_depth=simulator.ftq.depth,
-    )
+    return run_batch([spec_for(profile, config, seed, config_name)])[0]
 
 
 def sweep_ftq_depths(
@@ -86,14 +75,18 @@ def sweep_ftq_depths(
     depths: list[int],
     seed: int = 1,
 ) -> dict[int, SimResult]:
-    """Fixed-FTQ-depth sweep for one workload (Figs 3-6, 8)."""
-    results: dict[int, SimResult] = {}
-    for depth in depths:
-        config = base_config.with_ftq_depth(depth)
-        results[depth] = run_workload(
-            profile, config, config_name=f"ftq{depth}", seed=seed
-        )
-    return results
+    """Fixed-FTQ-depth sweep for one workload (Figs 3-6, 8).
+
+    .. deprecated:: prefer building the spec grid and calling ``run_batch``
+        (see :func:`repro.analysis.experiments.ftq_sweep_suite`), which
+        parallelizes across workloads as well as depths.
+    """
+    specs = [
+        spec_for(profile, base_config.with_ftq_depth(depth), seed, f"ftq{depth}")
+        for depth in depths
+    ]
+    results = run_batch(specs)
+    return dict(zip(depths, results))
 
 
 def run_suite(
@@ -101,13 +94,19 @@ def run_suite(
     workloads: list[str],
     seed: int = 1,
 ) -> dict[str, dict[str, SimResult]]:
-    """Run every (workload, config) pair: result[workload][config_name]."""
+    """Run every (workload, config) pair: result[workload][config_name].
+
+    .. deprecated:: prefer ``run_batch`` over an explicit spec grid.
+    """
+    specs = [
+        spec_for(workload, config, seed, name)
+        for workload in workloads
+        for name, config in configs.items()
+    ]
+    results = run_batch(specs)
     out: dict[str, dict[str, SimResult]] = {}
-    for workload in workloads:
-        out[workload] = {
-            name: run_workload(workload, config, config_name=name, seed=seed)
-            for name, config in configs.items()
-        }
+    for spec, result in zip(specs, results):
+        out.setdefault(spec.workload, {})[spec.label] = result
     return out
 
 

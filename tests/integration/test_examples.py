@@ -36,6 +36,16 @@ def test_udp_vs_comparators(capsys):
     assert "geomean" in out
 
 
+def test_parallel_sweep(capsys, monkeypatch, tmp_path):
+    # Exercise the engine example with an isolated cache and a real pool.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    run_example("parallel_sweep.py", ["mediawiki", "2500"])
+    out = capsys.readouterr().out
+    assert "cache hits" in out
+    assert "batch wall-clock" in out
+
+
 def test_custom_workload(capsys):
     run_example("custom_workload.py", [])
     out = capsys.readouterr().out

@@ -1,0 +1,174 @@
+"""Parallel experiment engine: pool determinism, disk cache, progress.
+
+The autouse fixture pins ``REPRO_JOBS=2`` for this module so the tier-1
+pytest invocation always exercises the process-pool path, and isolates the
+disk cache in a per-test temporary directory.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim import engine
+from repro.sim.engine import BatchStats, ResultCache, RunSpec, run_batch, spec_for
+from repro.sim.metrics import SimResult
+from repro.sim.presets import baseline_config
+from repro.sim.runner import run_workload
+from repro.workloads import micro
+
+FAST = baseline_config(max_instructions=2_000).replace(
+    functional_warmup_blocks=800
+)
+
+
+@pytest.fixture(autouse=True)
+def _engine_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(engine.JOBS_ENV, "2")
+    monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(engine.NO_CACHE_ENV, raising=False)
+
+
+def _specs():
+    return [
+        spec_for("mediawiki", FAST.with_ftq_depth(16), 1, "ftq16"),
+        spec_for("mediawiki", FAST.with_ftq_depth(32), 1, "ftq32"),
+        spec_for("mediawiki", FAST.with_ftq_depth(16), 2, "ftq16-s2"),
+    ]
+
+
+def _serialized(results):
+    return [json.dumps(r.to_dict(), sort_keys=True) for r in results]
+
+
+def test_runspec_is_frozen():
+    spec = _specs()[0]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.seed = 3
+
+
+def test_resolve_jobs_env_and_override(monkeypatch):
+    assert engine.resolve_jobs() == 2  # from REPRO_JOBS in the fixture
+    assert engine.resolve_jobs(5) == 5
+    assert engine.resolve_jobs(0) == 1
+    monkeypatch.setenv(engine.JOBS_ENV, "not-a-number")
+    assert engine.resolve_jobs() >= 1
+
+
+def test_pool_matches_in_process_byte_identical():
+    serial = run_batch(_specs(), jobs=1, no_cache=True)
+    pooled = run_batch(_specs(), jobs=2, no_cache=True)
+    assert _serialized(serial) == _serialized(pooled)
+
+
+def test_results_follow_spec_order():
+    results = run_batch(_specs(), jobs=2, no_cache=True)
+    assert [r.config_name for r in results] == ["ftq16", "ftq32", "ftq16-s2"]
+    assert all(r.workload == "mediawiki" for r in results)
+    assert results[0].ipc > 0
+
+
+def test_warm_cache_rerun_simulates_nothing(tmp_path):
+    cache = ResultCache(tmp_path / "explicit")
+    cold = BatchStats()
+    first = run_batch(_specs(), cache=cache, progress=cold)
+    assert cold.simulated == 3 and cold.cache_hits == 0
+    warm = BatchStats()
+    second = run_batch(_specs(), cache=cache, progress=warm)
+    assert warm.simulated == 0 and warm.cache_hits == 3
+    assert _serialized(first) == _serialized(second)
+
+
+def test_corrupted_cache_file_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "corrupt")
+    spec = _specs()[0]
+    run_batch([spec], cache=cache)
+    path = cache.path_for(spec)
+    assert path.is_file()
+    path.write_text("{ not json !!", encoding="utf-8")
+    assert cache.get(spec) is None
+    stats = BatchStats()
+    results = run_batch([spec], cache=cache, progress=stats)
+    assert stats.simulated == 1 and stats.cache_hits == 0
+    assert results[0].ipc > 0
+    # The bad file was rewritten; the next read hits again.
+    assert cache.get(spec) is not None
+
+
+def test_cache_hit_restamps_label(tmp_path):
+    cache = ResultCache(tmp_path / "labels")
+    spec = _specs()[0]
+    run_batch([spec], cache=cache)
+    relabeled = dataclasses.replace(spec, label="base-ftq16")
+    stats = BatchStats()
+    (result,) = run_batch([relabeled], cache=cache, progress=stats)
+    assert stats.cache_hits == 1
+    assert result.config_name == "base-ftq16"
+
+
+def test_no_cache_env_disables_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv(engine.NO_CACHE_ENV, "1")
+    cache = ResultCache(tmp_path / "disabled")
+    run_batch([_specs()[0]], cache=cache)
+    assert cache.info().entries == 0
+
+
+def test_cache_info_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "maint")
+    run_batch(_specs()[:2], cache=cache)
+    info = cache.info()
+    assert info.entries == 2 and info.size_bytes > 0
+    assert cache.clear() == 2
+    assert cache.info().entries == 0
+
+
+def test_explicit_program_specs_run_but_do_not_cache(tmp_path):
+    cache = ResultCache(tmp_path / "programs")
+    spec = RunSpec(
+        workload="micro", config=FAST, label="loop",
+        program=micro.mispredicting_loop(),
+    )
+    assert not spec.cacheable
+    stats = BatchStats()
+    (result,) = run_batch([spec], cache=cache, progress=stats)
+    assert result.workload == "micro" and result.config_name == "loop"
+    assert result.ipc > 0
+    assert stats.simulated == 1
+    assert cache.info().entries == 0
+
+
+def test_legacy_wrapper_matches_engine():
+    via_wrapper = run_workload("mediawiki", FAST, config_name="ftq32")
+    (via_engine,) = run_batch([spec_for("mediawiki", FAST, 1, "ftq32")])
+    assert json.dumps(via_wrapper.to_dict(), sort_keys=True) == json.dumps(
+        via_engine.to_dict(), sort_keys=True
+    )
+
+
+def test_simresult_dict_round_trip():
+    (result,) = run_batch([_specs()[0]], no_cache=True, jobs=1)
+    clone = SimResult.from_dict(result.to_dict())
+    assert clone == result
+    assert clone.to_dict() == result.to_dict()
+    with pytest.raises((KeyError, TypeError)):
+        SimResult.from_dict({"workload": "x"})
+
+
+def test_progress_events_are_complete():
+    events = []
+    run_batch(_specs(), jobs=2, no_cache=True, progress=events.append)
+    assert len(events) == 3
+    assert sorted(e.index for e in events) == [0, 1, 2]
+    assert [e.completed for e in events] == [1, 2, 3]
+    assert all(e.total == 3 and not e.cached and e.seconds >= 0 for e in events)
+
+
+def test_default_progress_hook(tmp_path):
+    stats = BatchStats()
+    previous = engine.set_default_progress(stats)
+    try:
+        run_batch([_specs()[0]], no_cache=True, jobs=1)
+    finally:
+        engine.set_default_progress(previous)
+    assert stats.runs == 1 and stats.simulated == 1
+    assert "1 simulated" in stats.summary()
