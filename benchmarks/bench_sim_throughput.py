@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""End-to-end simulator throughput benchmark: KIPS with fast-forward on/off.
+
+Unlike the ``bench_fig*.py`` harness (which times *experiments* through the
+cached engine), this script times raw :class:`Simulator` runs — the object
+of study is the simulator itself, so every run is built fresh and nothing
+touches the result cache.  For each preset it measures retired-KIPS (
+thousands of simulated instructions per wall-clock second) with idle-cycle
+fast-forward enabled and with the naive one-cycle-at-a-time stepper
+(``REPRO_NO_FASTFORWARD`` semantics), reports the median over ``--reps``
+interleaved repetitions (container wall-clock is noisy), and cross-checks
+that both modes produce byte-identical ``measured_counters()``.
+
+The committed reference results live in ``BENCH_throughput.json`` at the
+repo root; regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+The ``miss-heavy`` preset is the headline: a DRAM-bound fetch stress where
+>95% of cycles are pure icache-miss stalls, which fast-forward skips in
+bulk (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from statistics import median
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.sim.presets import PRESET_BUILDERS  # noqa: E402
+from repro.sim.profile import build_simulator  # noqa: E402
+
+DEFAULT_PRESETS = ["miss-heavy", "no-prefetch", "baseline", "udp"]
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_throughput.json"
+)
+
+
+def _run_once(workload: str, preset: str, n: int, seed: int, fast: bool):
+    """One fresh simulation; returns (simulator, wall seconds)."""
+    config = PRESET_BUILDERS[preset](n, seed)
+    simulator = build_simulator(workload, config, seed)
+    simulator.fast_forward_enabled = fast
+    started = time.perf_counter()
+    simulator.run()
+    return simulator, time.perf_counter() - started
+
+
+def bench_preset(workload: str, preset: str, n: int, seed: int, reps: int) -> dict:
+    """Benchmark one preset; fast/naive reps are interleaved against drift."""
+    fast_secs: list[float] = []
+    naive_secs: list[float] = []
+    fast_sim = naive_sim = None
+    for _ in range(reps):
+        sim, secs = _run_once(workload, preset, n, seed, fast=True)
+        fast_secs.append(secs)
+        fast_sim = sim
+        sim, secs = _run_once(workload, preset, n, seed, fast=False)
+        naive_secs.append(secs)
+        naive_sim = sim
+
+    retired = fast_sim.backend.retired_instructions
+    fast_kips = [retired / s / 1000.0 for s in fast_secs]
+    naive_kips = [retired / s / 1000.0 for s in naive_secs]
+    fast_median = median(fast_kips)
+    naive_median = median(naive_kips)
+    identical = fast_sim.measured_counters() == naive_sim.measured_counters()
+    return {
+        "preset": preset,
+        "workload": workload,
+        "instructions": retired,
+        "cycles": fast_sim.cycle,
+        "fast": {
+            "median_kips": round(fast_median, 1),
+            "kips": [round(k, 1) for k in fast_kips],
+            "steps_executed": fast_sim.steps_executed,
+            "ff_cycles_skipped": fast_sim.ff_cycles_skipped,
+            "ff_jumps": fast_sim.ff_jumps,
+        },
+        "naive": {
+            "median_kips": round(naive_median, 1),
+            "kips": [round(k, 1) for k in naive_kips],
+            "steps_executed": naive_sim.steps_executed,
+        },
+        "speedup": round(fast_median / naive_median, 2),
+        "counters_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-w", "--workload", default="verilator")
+    parser.add_argument(
+        "-p", "--presets", default=",".join(DEFAULT_PRESETS),
+        help="comma-separated preset names (see `repro list-configs`)",
+    )
+    parser.add_argument("-n", "--instructions", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per mode (median is reported)")
+    parser.add_argument("-o", "--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    presets = [p.strip() for p in args.presets.split(",") if p.strip()]
+    results = []
+    print(f"{'preset':<14} {'fast KIPS':>10} {'naive KIPS':>11} "
+          f"{'speedup':>8} {'steps/cycles':>16} identical")
+    for preset in presets:
+        row = bench_preset(
+            args.workload, preset, args.instructions, args.seed, args.reps
+        )
+        results.append(row)
+        print(
+            f"{preset:<14} {row['fast']['median_kips']:>10.1f} "
+            f"{row['naive']['median_kips']:>11.1f} {row['speedup']:>7.2f}x "
+            f"{row['fast']['steps_executed']:>7}/{row['cycles']:<8} "
+            f"{row['counters_identical']}"
+        )
+        if not row["counters_identical"]:
+            print(f"ERROR: counter mismatch on {preset}", file=sys.stderr)
+            return 1
+
+    payload = {
+        "benchmark": "sim_throughput",
+        "workload": args.workload,
+        "instructions": args.instructions,
+        "seed": args.seed,
+        "reps": args.reps,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out = os.path.normpath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -95,6 +95,7 @@ class BackendCore:
         # How many RS entries the issue stage examines per cycle (the
         # pseudo-out-of-order window).
         self.issue_scan_window = 24
+        self._dep_threshold = int(config.load_dependence_fraction * (1 << 32))
 
     # -- dispatch -----------------------------------------------------------
 
@@ -127,8 +128,12 @@ class BackendCore:
         return uop
 
     def _depends_on_load(self, pc: int) -> bool:
-        threshold = int(self.config.load_dependence_fraction * (1 << 32))
-        return (mix64(self.seed ^ pc) & 0xFFFF_FFFF) < threshold
+        # Inlined mix64 (splitmix64 finalizer): one call per dispatched
+        # non-load instruction.
+        x = ((self.seed ^ pc) + 0x9E3779B97F4A7C15) & 0xFFFF_FFFF_FFFF_FFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFF_FFFF_FFFF_FFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFF_FFFF_FFFF_FFFF
+        return ((x ^ (x >> 31)) & 0xFFFF_FFFF) < self._dep_threshold
 
     # -- per-cycle step ------------------------------------------------------
 
@@ -156,10 +161,13 @@ class BackendCore:
         return uop.resteer, uop.seq
 
     def _retire(self, cycle: int) -> None:
-        retired = 0
         rob = self.rob
+        if not rob:
+            return
+        retired = 0
         hook = self.retire_hook
-        while rob and retired < self.config.retire_width:
+        retire_width = self.config.retire_width
+        while rob and retired < retire_width:
             uop = rob[0]
             if not uop.issued or uop.complete_cycle > cycle:
                 break
@@ -176,9 +184,14 @@ class BackendCore:
                 self.counters.bump("wrong_path_retired")
 
     def _issue(self, cycle: int) -> None:
-        if not self.rs:
+        rs = self.rs
+        if not rs:
             return
         cfg = self.config
+        # RS entries are in dispatch order, so if the very first one has not
+        # reached the execute stage yet, nothing younger can issue either.
+        if cycle < rs[0].dispatch_cycle + cfg.decode_to_execute_latency and not rs[0].issued:
+            return
         alu_slots = cfg.num_alu
         load_slots = cfg.num_load
         store_slots = cfg.num_store
@@ -218,6 +231,54 @@ class BackendCore:
             issued_any = True
         if issued_any:
             self.rs = [u for u in self.rs if not u.issued]
+
+    # -- idle-skip support -----------------------------------------------------
+
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Earliest future cycle at which the backend could do *any* work.
+
+        Used by the simulator's idle-cycle fast-forward: when the frontend is
+        stalled on a fill, every cycle strictly before the returned value is
+        guaranteed to be a backend no-op (no retire, no issue, no resteer).
+        Returns ``None`` when the backend is completely drained.
+
+        The bound is conservative: a cycle at which work *might* be possible
+        (e.g. an issue blocked only by structural slots) is reported as
+        ``cycle + 1``, which simply disables skipping for that cycle.
+        """
+        event: int | None = None
+        pending = self._pending_resteer_event
+        if pending is not None:
+            event = pending[0] if pending[0] > cycle else cycle + 1
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            if head.issued:
+                t = head.complete_cycle if head.complete_cycle > cycle else cycle + 1
+                if event is None or t < event:
+                    event = t
+        rs = self.rs
+        if rs:
+            min_ready_offset = self.config.decode_to_execute_latency
+            for uop in rs:
+                dep = uop.dep
+                if dep is not None:
+                    if not dep.issued:
+                        # Cannot issue before the dep itself (an older RS
+                        # entry whose own bound is already in this min).
+                        continue
+                    t = uop.dispatch_cycle + min_ready_offset
+                    if dep.complete_cycle > t:
+                        t = dep.complete_cycle
+                else:
+                    t = uop.dispatch_cycle + min_ready_offset
+                if t <= cycle:
+                    t = cycle + 1
+                if event is None or t < event:
+                    event = t
+                if t == cycle + 1:
+                    break  # cannot get earlier than "next cycle"
+        return event
 
     # -- squash ---------------------------------------------------------------
 

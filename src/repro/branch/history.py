@@ -16,21 +16,21 @@ from __future__ import annotations
 class FoldedHistory:
     """Incrementally folds the most recent ``length`` history bits into ``width`` bits."""
 
-    __slots__ = ("length", "width", "folded", "_out_shift")
+    __slots__ = ("length", "width", "folded", "_out_shift", "_mask")
 
     def __init__(self, length: int, width: int) -> None:
         self.length = length
         self.width = width
         self.folded = 0
         self._out_shift = length % width
+        self._mask = (1 << width) - 1
 
     def update(self, new_bit: int, outgoing_bit: int) -> None:
         """Shift in ``new_bit`` and retire ``outgoing_bit`` (the bit aged out)."""
-        mask = (1 << self.width) - 1
         folded = (self.folded << 1) | new_bit
         folded ^= outgoing_bit << self._out_shift
         folded ^= folded >> self.width  # fold the carry-out back in
-        self.folded = folded & mask
+        self.folded = folded & self._mask
 
     def snapshot(self) -> int:
         return self.folded
@@ -55,11 +55,17 @@ class GlobalHistory:
 
     def push(self, taken: bool) -> None:
         """Record one branch outcome (speculatively)."""
-        new_bit = int(taken)
-        for folded in self.folded:
-            outgoing = (self.bits >> (folded.length - 1)) & 1
-            folded.update(new_bit, outgoing)
-        self.bits = ((self.bits << 1) | new_bit) & self._mask
+        new_bit = 1 if taken else 0
+        bits = self.bits
+        # Inlined FoldedHistory.update: this runs for every predicted branch
+        # times every folding register (~2 per TAGE table), so the method
+        # call per fold is the dominant cost at this leaf.
+        for f in self.folded:
+            folded = (f.folded << 1) | new_bit
+            folded ^= ((bits >> (f.length - 1)) & 1) << f._out_shift
+            folded ^= folded >> f.width
+            f.folded = folded & f._mask
+        self.bits = ((bits << 1) | new_bit) & self._mask
 
     def low_bits(self, n: int) -> int:
         """The ``n`` most recent outcome bits."""

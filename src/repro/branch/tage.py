@@ -125,14 +125,26 @@ class TagePredictor:
 
     def predict(self, pc: int) -> TagePrediction:
         """Predict the direction of the conditional branch at ``pc``."""
-        num_tables = len(self.tables)
-        indices = tuple(self._index(pc, t) for t in range(num_tables))
-        tags = tuple(self._tag(pc, t) for t in range(num_tables))
+        # Inlined _index/_tag: this is the hottest predictor leaf (one call
+        # per scanned branch), so the per-table method calls matter.
+        tables = self.tables
+        folded = self.history.folded
+        index_mask = self._index_mask
+        pc_idx = (pc >> 2) ^ (pc >> (self.config.tage_table_bits + 2))
+        pc_tag = pc >> 2
+        indices_list = []
+        tags_list = []
+        for t, table in enumerate(tables):
+            indices_list.append((pc_idx ^ folded[2 * t].folded) & index_mask)
+            f = folded[2 * t + 1].folded
+            tags_list.append((pc_tag ^ (f << 1) ^ (f >> 1)) & table.tag_mask)
+        indices = tuple(indices_list)
+        tags = tuple(tags_list)
 
         provider = -1
         alt_provider = -1
-        for t in range(num_tables - 1, -1, -1):
-            if self.tables[t].tags[indices[t]] == tags[t]:
+        for t in range(len(tables) - 1, -1, -1):
+            if tables[t].tags[indices[t]] == tags[t]:
                 if provider < 0:
                     provider = t
                 else:

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run -w xgboost -c udp -n 20000
     python -m repro compare -w xgboost,gcc -c baseline,udp,perfect-icache
     python -m repro figure fig3 -w mysql,verilator -n 15000 --jobs 4 --progress
+    python -m repro profile -w verilator -c miss-heavy -n 50000
     python -m repro trace -w mysql --blocks 3000 -o mysql.trace.jsonl
     python -m repro cache info
     python -m repro cache clear
@@ -193,6 +194,28 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.sim.profile import format_report, profile_run
+
+    config = PRESET_BUILDERS[args.config](args.instructions)
+    report = profile_run(
+        args.workload,
+        config,
+        config_name=args.config,
+        seed=args.seed,
+        fast_forward=not args.no_fastforward,
+        top=args.top,
+    )
+    print(format_report(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     program = program_for(args.workload, args.seed)
     instructions = record_trace(program, args.blocks, args.out)
@@ -315,6 +338,25 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     cache.add_argument("action", choices=["info", "clear"])
     cache.set_defaults(fn=cmd_cache)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one run with a per-stage hot-path breakdown"
+    )
+    profile.add_argument("-w", "--workload", default="verilator")
+    profile.add_argument(
+        "-c", "--config", default="miss-heavy", choices=sorted(PRESET_BUILDERS)
+    )
+    profile.add_argument("-n", "--instructions", type=int, default=50_000)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--top", type=int, default=15,
+                         help="hottest functions to list (by self time)")
+    profile.add_argument("-o", "--out", default="",
+                         help="also dump the report as JSON to this path")
+    profile.add_argument(
+        "--no-fastforward", action="store_true",
+        help="profile the naive one-cycle-at-a-time stepper",
+    )
+    profile.set_defaults(fn=cmd_profile)
 
     trace = sub.add_parser("trace", help="export an oracle trace to JSONL")
     trace.add_argument("-w", "--workload", default="mysql")

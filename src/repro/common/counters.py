@@ -4,9 +4,18 @@
 every simulator component.  Derived metrics (IPC, MPKI, ratios) live in
 :mod:`repro.sim.metrics` so that raw counts and derived values never get
 conflated.
+
+Hot-path components (the per-cycle fetch/dispatch/FDIP loops) do not call
+:meth:`Counters.bump` with a string per event — they ask for an *interned
+incrementer* once at construction time via :meth:`Counters.incrementer` and
+call that closure instead.  The closure pre-registers the counter's slot in
+the backing dict, so the per-event cost is a single ``dict[str] += n`` on an
+already-present key (no method dispatch, no ``dict.get`` default path).
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 
 class Counters:
@@ -22,10 +31,13 @@ class Counters:
         assert c["never_touched"] == 0
     """
 
-    __slots__ = ("_values", "hook")
+    __slots__ = ("_values", "_interned", "hook")
 
     def __init__(self) -> None:
         self._values: dict[str, int] = {}
+        # Names pre-registered by incrementer(); kept at zero across reset()
+        # so interned closures never hit a missing key.
+        self._interned: set[str] = set()
         # Optional observer called as hook(name, amount) on every bump —
         # used by the pipeline tracer; None in normal operation.
         self.hook = None
@@ -35,6 +47,27 @@ class Counters:
         self._values[name] = self._values.get(name, 0) + amount
         if self.hook is not None:
             self.hook(name, amount)
+
+    def incrementer(self, name: str) -> Callable[[int], None]:
+        """Return a fast bound incrementer for a hot counter ``name``.
+
+        The returned closure behaves exactly like ``bump(name, amount)``
+        (including firing the tracer ``hook``) but skips per-event name
+        hashing against a missing key: the slot is preallocated here, once.
+        Preallocated zero slots are invisible in :meth:`as_dict`.
+        """
+        values = self._values
+        values.setdefault(name, 0)
+        self._interned.add(name)
+
+        def bump(amount: int = 1, _name: str = name, _values: dict = values,
+                 _self: "Counters" = self) -> None:
+            _values[_name] += amount
+            hook = _self.hook
+            if hook is not None:
+                hook(_name, amount)
+
+        return bump
 
     def set(self, name: str, value: int) -> None:
         """Set counter ``name`` to ``value``."""
@@ -47,13 +80,25 @@ class Counters:
         return name in self._values
 
     def as_dict(self) -> dict[str, int]:
-        """Return a copy of all non-zero counters."""
-        return dict(self._values)
+        """Return a copy of all non-zero counters.
+
+        Zero-valued slots (preallocated by :meth:`incrementer`, or explicitly
+        ``set`` to 0) are omitted, so results never depend on which counters
+        happened to be registered-but-untouched.
+        """
+        return {name: value for name, value in self._values.items() if value}
 
     def merge(self, other: "Counters") -> None:
-        """Add every counter from ``other`` into this bag."""
+        """Add every counter from ``other`` into this bag.
+
+        Accumulates directly into the backing dict — the tracer ``hook`` is
+        *not* fired (merging aggregated results is bookkeeping, not a
+        simulated event stream).
+        """
+        values = self._values
+        get = values.get
         for name, value in other._values.items():
-            self.bump(name, value)
+            values[name] = get(name, 0) + value
 
     def snapshot(self) -> dict[str, int]:
         """Alias of :meth:`as_dict` (kept for readability at call sites)."""
@@ -69,8 +114,10 @@ class Counters:
         return out
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (interned slots stay registered)."""
         self._values.clear()
+        for name in self._interned:
+            self._values[name] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         items = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))

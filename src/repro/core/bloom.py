@@ -50,6 +50,10 @@ class BloomFilter:
         self.num_hashes = num_hashes
         self.seed = seed
         self._array = bytearray(bits // 8)
+        self._mask = bits - 1
+        # One precomputed XOR seed per hash function, so probing is a flat
+        # loop of mix64 calls (no generator frame per probe).
+        self._seeds = tuple(seed + i * 0x9E3779B9 for i in range(num_hashes))
         self.inserted = 0
 
     @property
@@ -61,37 +65,38 @@ class BloomFilter:
     def full(self) -> bool:
         return self.inserted >= self.capacity
 
-    def _bit_positions(self, key: int):
-        mask = self.bits - 1
-        for i in range(self.num_hashes):
-            yield mix64(key ^ (self.seed + i * 0x9E3779B9)) & mask
+    def _bit_positions(self, key: int) -> list[int]:
+        mask = self._mask
+        return [mix64(key ^ s) & mask for s in self._seeds]
 
     def insert(self, key: int) -> None:
         """Add ``key`` to the set."""
         array = self._array
-        for position in self._bit_positions(key):
+        mask = self._mask
+        for s in self._seeds:
+            position = mix64(key ^ s) & mask
             array[position >> 3] |= 1 << (position & 7)
         self.inserted += 1
 
     def contains(self, key: int) -> bool:
         """Membership test (no false negatives, ~1% false positives)."""
         array = self._array
-        for position in self._bit_positions(key):
+        mask = self._mask
+        for s in self._seeds:
+            position = mix64(key ^ s) & mask
             if not (array[position >> 3] >> (position & 7)) & 1:
                 return False
         return True
 
     def clear(self) -> None:
         """Reset to empty."""
-        for i in range(len(self._array)):
-            self._array[i] = 0
+        self._array[:] = bytes(len(self._array))
         self.inserted = 0
 
     @property
     def fill_ratio(self) -> float:
         """Fraction of bits set (diagnostic)."""
-        set_bits = sum(bin(b).count("1") for b in self._array)
-        return set_bits / self.bits
+        return int.from_bytes(self._array, "little").bit_count() / self.bits
 
     def estimated_fpr(self) -> float:
         """Theoretical FPR at the current fill level."""

@@ -79,6 +79,13 @@ class DecoupledFrontend:
         self.spec_pc = program.entry
         self.diverged = False
         self.next_seq = 0
+        self._blocks_per_cycle = config.ftq_blocks_per_cycle
+        # Interned fast-path counter slots (see Counters.incrementer).
+        self._c_ftq_full = counters.incrementer("ftq_full_cycles_blocks")
+        self._c_blocks_on = counters.incrementer("ftq_blocks_on_path")
+        self._c_blocks_off = counters.incrementer("ftq_blocks_off_path")
+        self._c_btb_gen_hits = counters.incrementer("btb_gen_hits")
+        self._c_btb_gen_misses = counters.incrementer("btb_gen_misses")
         # Set while a divergence is in flight; cleared by recover()/the
         # decode-stage resteer.  Used for asserting single-divergence.
         self.pending_resteer: PendingResteer | None = None
@@ -88,23 +95,25 @@ class DecoupledFrontend:
     def generate(self) -> list[FTQEntry]:
         """Produce up to ``ftq_blocks_per_cycle`` entries (FTQ space permitting)."""
         produced: list[FTQEntry] = []
-        for _ in range(self.config.ftq_blocks_per_cycle):
-            if not self.ftq.has_space:
-                self.counters.bump("ftq_full_cycles_blocks")
+        ftq = self.ftq
+        for _ in range(self._blocks_per_cycle):
+            if not ftq.has_space:
+                self._c_ftq_full()
                 break
             entry = self._walk_block()
-            self.ftq.push(entry)
+            ftq.push(entry)
             produced.append(entry)
             if entry.on_path:
-                self.counters.bump("ftq_blocks_on_path")
+                self._c_blocks_on()
             else:
-                self.counters.bump("ftq_blocks_off_path")
+                self._c_blocks_off()
         return produced
 
     # -- the block walk ------------------------------------------------------
 
     def _walk_block(self) -> FTQEntry:
-        start = self.program.wrap(self.spec_pc)
+        program = self.program
+        start = program.wrap(self.spec_pc)
         region_end = block_of(start) + FETCH_BLOCK_BYTES
         entry = FTQEntry(
             seq=self.next_seq,
@@ -123,15 +132,18 @@ class DecoupledFrontend:
         started_on_path = not self.diverged
         diverged_at: int | None = None
 
+        code_end = program.code_end
         while cur < region_end:
-            if cur >= self.program.code_end:
+            if cur >= code_end:
                 # Sequential walk fell off the end of the code region: end
                 # the fetch block here and resume at the wrapped address
                 # (keeps entry ranges contiguous; see Program.wrap).
                 region_end = cur
                 break
-            block = self.program.block_at(cur)
-            seg_end = min(block.end_addr, region_end)
+            block = program.block_at(cur)
+            seg_end = block.end_addr
+            if seg_end > region_end:
+                seg_end = region_end
             branch = block.branch
             if branch is None or not (cur <= branch.pc < seg_end):
                 # No control transfer inside this segment.
@@ -203,7 +215,7 @@ class DecoupledFrontend:
         estimator = self.path_estimator
 
         if btb_entry is None:
-            self.counters.bump("btb_gen_misses")
+            self._c_btb_gen_misses()
             # Undetected branch: the walker is unaware and falls through.
             if estimator is not None and branch.kind == BranchKind.COND:
                 # The paper: assume off-path when the predictor says "taken"
@@ -215,7 +227,7 @@ class DecoupledFrontend:
             seen = SeenBranch(branch, detected=False, predicted_taken=False)
             return seen, branch.fallthrough
 
-        self.counters.bump("btb_gen_hits")
+        self._c_btb_gen_hits()
         kind = btb_entry.kind
         predicted_taken = True
         predicted_target = btb_entry.target

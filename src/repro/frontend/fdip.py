@@ -57,6 +57,15 @@ class FDIPEngine:
         self.gate = gate
         self.enabled = enabled
         self.next_scan_seq = 0
+        # Interned fast-path counter slots (see Counters.incrementer).
+        self._c_probe_resident = counters.incrementer("fdip_probe_resident")
+        self._c_probe_inflight = counters.incrementer("fdip_probe_inflight")
+        self._c_candidates = counters.incrementer("fdip_candidates")
+        self._c_candidates_on = counters.incrementer("fdip_candidates_on_path")
+        self._c_candidates_off = counters.incrementer("fdip_candidates_off_path")
+        self._c_emitted = counters.incrementer("prefetches_emitted")
+        self._c_emitted_on = counters.incrementer("prefetches_emitted_on_path")
+        self._c_emitted_off = counters.incrementer("prefetches_emitted_off_path")
 
     def reset_scan(self, next_seq: int) -> None:
         """Re-arm the scan pointer after a flush/resteer."""
@@ -66,13 +75,15 @@ class FDIPEngine:
         """One cycle of FTQ scanning."""
         if not self.enabled or self.config.perfect_icache:
             return
-        head = self.ftq.head()
+        ftq = self.ftq
+        head = ftq.head()
         if head is None:
             return
-        if self.next_scan_seq < head.seq:
-            self.next_scan_seq = head.seq
+        head_seq = head.seq
+        if self.next_scan_seq < head_seq:
+            self.next_scan_seq = head_seq
         for _ in range(self.config.fdip_lookups_per_cycle):
-            entry = self.ftq.entry_at(self.next_scan_seq - head.seq)
+            entry = ftq.entry_at(self.next_scan_seq - head_seq)
             if entry is None:
                 return
             self.next_scan_seq += 1
@@ -83,16 +94,16 @@ class FDIPEngine:
     def _consider(self, entry: FTQEntry, cycle: int) -> None:
         line_addr = entry.line_addr
         if self.l1i.contains(line_addr):
-            self.counters.bump("fdip_probe_resident")
+            self._c_probe_resident()
             return
         if self.mshr.lookup(line_addr) is not None:
-            self.counters.bump("fdip_probe_inflight")
+            self._c_probe_inflight()
             return
-        self.counters.bump("fdip_candidates")
+        self._c_candidates()
         if entry.on_path:
-            self.counters.bump("fdip_candidates_on_path")
+            self._c_candidates_on()
         else:
-            self.counters.bump("fdip_candidates_off_path")
+            self._c_candidates_off()
 
         if self.gate is not None:
             lines = self.gate.evaluate(line_addr, entry)
@@ -120,9 +131,9 @@ class FDIPEngine:
             udp_candidate=entry.assumed_off_path,
             fill_level=level,
         )
-        self.counters.bump("prefetches_emitted")
+        self._c_emitted()
         if entry.on_path:
-            self.counters.bump("prefetches_emitted_on_path")
+            self._c_emitted_on()
         else:
-            self.counters.bump("prefetches_emitted_off_path")
+            self._c_emitted_off()
         self.counters.bump(f"prefetch_fill_{level}")

@@ -17,7 +17,7 @@ branch.  Entries carry:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.addr import INSTR_BYTES, line_of
 from repro.workloads.program import Branch, BranchKind
@@ -26,7 +26,7 @@ RESTEER_AT_DECODE = "decode"
 RESTEER_AT_EXECUTE = "execute"
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingResteer:
     """A detected divergence waiting for its resolution point.
 
@@ -45,7 +45,7 @@ class PendingResteer:
     cause: str  # "btb_miss" | "cond_mispredict" | "indirect_mispredict" | "ras_mispredict"
 
 
-@dataclass
+@dataclass(slots=True)
 class SeenBranch:
     """A static branch the walker passed while building an entry."""
 
@@ -57,40 +57,77 @@ class SeenBranch:
     prediction: object | None = None
 
 
-@dataclass
 class FTQEntry:
-    """One fetch block in the fetch target queue."""
+    """One fetch block in the fetch target queue.
 
-    seq: int
-    start: int
-    end: int  # one past the last instruction byte
-    on_path: bool
-    ops: bytes = b""
-    branches: list[SeenBranch] = field(default_factory=list)
-    resteer: PendingResteer | None = None
-    # Instructions considered on-path (up to and including a diverging
-    # branch); equals num_instrs when no divergence occurs inside the entry.
-    on_path_instrs: int = -1
-    # UDP's belief at generation time that the frontend is off-path.
-    assumed_off_path: bool = False
-    # Fetch-stage state: -1 = not yet accessed, otherwise the cycle the
-    # icache line becomes consumable.
-    ready_cycle: int = -1
-    # Decode progress: next instruction offset to dispatch.
-    decode_offset: int = 0
+    A hand-written ``__slots__`` class rather than a dataclass: the walker
+    constructs one per generated fetch block, which makes ``__init__`` a hot
+    leaf (a dataclass would add ``__post_init__``/property dispatch on top).
+    """
 
-    def __post_init__(self) -> None:
-        if self.on_path_instrs < 0:
-            self.on_path_instrs = self.num_instrs
+    __slots__ = (
+        "seq",
+        "start",
+        "end",
+        "on_path",
+        "ops",
+        "branches",
+        "resteer",
+        "on_path_instrs",
+        "assumed_off_path",
+        "ready_cycle",
+        "decode_offset",
+        "line_addr",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        start: int,
+        end: int,  # one past the last instruction byte
+        on_path: bool,
+        ops: bytes = b"",
+        branches: list[SeenBranch] | None = None,
+        resteer: PendingResteer | None = None,
+        on_path_instrs: int = -1,
+        assumed_off_path: bool = False,
+        ready_cycle: int = -1,
+        decode_offset: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.start = start
+        self.end = end
+        self.on_path = on_path
+        self.ops = ops
+        self.branches = [] if branches is None else branches
+        # Set when this entry contains the first diverging branch.
+        self.resteer = resteer
+        # Instructions considered on-path (up to and including a diverging
+        # branch); equals num_instrs when no divergence occurs inside.
+        self.on_path_instrs = (
+            on_path_instrs if on_path_instrs >= 0 else (end - start) // INSTR_BYTES
+        )
+        # UDP's belief at generation time that the frontend is off-path.
+        self.assumed_off_path = assumed_off_path
+        # Fetch-stage state: -1 = not yet accessed, otherwise the cycle the
+        # icache line becomes consumable.
+        self.ready_cycle = ready_cycle
+        # Decode progress: next instruction offset to dispatch.
+        self.decode_offset = decode_offset
+        # The single icache line this fetch block resides in.  Precomputed
+        # from ``start`` (immutable after construction), so the fetch/FDIP
+        # hot paths never recompute the masked address.
+        self.line_addr = line_of(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FTQEntry(seq={self.seq}, start={self.start:#x}, end={self.end:#x}, "
+            f"on_path={self.on_path}, ready_cycle={self.ready_cycle})"
+        )
 
     @property
     def num_instrs(self) -> int:
         return (self.end - self.start) // INSTR_BYTES
-
-    @property
-    def line_addr(self) -> int:
-        """The single icache line this fetch block resides in."""
-        return line_of(self.start)
 
     def pc_at(self, offset: int) -> int:
         """PC of the ``offset``-th instruction in the entry."""

@@ -75,10 +75,15 @@ class FetchTargetQueue:
         self._entries.clear()
         return dropped
 
-    def sample_occupancy(self) -> None:
-        """Record the current occupancy (called once per cycle)."""
-        self.occupancy_sum += len(self._entries)
-        self.occupancy_samples += 1
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        """Record the current occupancy for ``cycles`` cycles.
+
+        Called once per simulated cycle; the idle-cycle fast-forward passes
+        ``cycles > 1`` to account for a run of skipped stall cycles during
+        which the occupancy provably cannot change.
+        """
+        self.occupancy_sum += len(self._entries) * cycles
+        self.occupancy_samples += cycles
 
     @property
     def average_occupancy(self) -> float:

@@ -9,6 +9,11 @@ technique-specific overhead.
 
 Timing lives in :mod:`repro.memory.hierarchy`; this class models contents
 and replacement only.
+
+Replacement is true LRU, kept *intrusively* in each set's dict: Python
+dicts preserve insertion order, so a touch re-inserts the line at the end
+and the victim is always the first key — O(1) instead of the old
+O(assoc) ``min()`` scan over timestamps on every install.
 """
 
 from __future__ import annotations
@@ -19,12 +24,11 @@ from typing import Callable
 from repro.common.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Metadata for one resident line."""
 
     line_addr: int
-    lru: int = 0
     prefetch_bit: bool = False
     prefetch_off_path: bool = False  # path tag of the emitting prefetch
     prefetch_udp_candidate: bool = False  # emitted under UDP's off-path belief
@@ -39,25 +43,28 @@ class SetAssocCache:
         self.num_sets = config.num_sets
         self.assoc = config.assoc
         self.line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Each set is a dict ordered LRU -> MRU (insertion order).
         self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
-        self._stamp = 0
         # Called with the victim CacheLine on every eviction (utility tracking).
         self.eviction_hook: Callable[[CacheLine], None] | None = None
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr >> self.line_shift) & (self.num_sets - 1)
+        return (line_addr >> self.line_shift) & self._set_mask
 
     def lookup(self, line_addr: int, touch: bool = True) -> CacheLine | None:
         """Return the resident line or None; refreshes LRU when ``touch``."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        way_set = self._sets[(line_addr >> self.line_shift) & self._set_mask]
+        line = way_set.get(line_addr)
         if line is not None and touch:
-            self._stamp += 1
-            line.lru = self._stamp
+            # Move to MRU position (end of the insertion order).
+            del way_set[line_addr]
+            way_set[line_addr] = line
         return line
 
     def contains(self, line_addr: int) -> bool:
         """Presence check that does not perturb LRU."""
-        return line_addr in self._sets[self._set_index(line_addr)]
+        return line_addr in self._sets[(line_addr >> self.line_shift) & self._set_mask]
 
     def install(
         self,
@@ -72,21 +79,20 @@ class SetAssocCache:
         Re-installing a resident line refreshes it in place (and never marks
         a demand-fetched line back as prefetched).
         """
-        way_set = self._sets[self._set_index(line_addr)]
-        self._stamp += 1
+        way_set = self._sets[(line_addr >> self.line_shift) & self._set_mask]
         line = way_set.get(line_addr)
         if line is not None:
-            line.lru = self._stamp
+            del way_set[line_addr]
+            way_set[line_addr] = line
             line.dirty = line.dirty or dirty
             return line
         if len(way_set) >= self.assoc:
-            victim = min(way_set.values(), key=lambda entry: entry.lru)
-            del way_set[victim.line_addr]
+            victim_addr = next(iter(way_set))
+            victim = way_set.pop(victim_addr)
             if self.eviction_hook is not None:
                 self.eviction_hook(victim)
         line = CacheLine(
             line_addr,
-            lru=self._stamp,
             prefetch_bit=prefetch,
             prefetch_off_path=prefetch_off_path,
             prefetch_udp_candidate=prefetch_udp_candidate,
@@ -97,7 +103,7 @@ class SetAssocCache:
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line (no eviction hook); True if it was resident."""
-        way_set = self._sets[self._set_index(line_addr)]
+        way_set = self._sets[(line_addr >> self.line_shift) & self._set_mask]
         return way_set.pop(line_addr, None) is not None
 
     @property

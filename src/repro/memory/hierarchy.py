@@ -32,6 +32,19 @@ class MemoryHierarchy:
         self.l2 = SetAssocCache(config.l2)
         self.llc = SetAssocCache(config.llc)
         self.stream = StreamPrefetcher() if config.stream_prefetcher else None
+        # Interned fast-path counter slots (see Counters.incrementer).
+        counters = self.counters
+        self._c_l2_ifetch_hits = counters.incrementer("l2_ifetch_hits")
+        self._c_llc_ifetch_hits = counters.incrementer("llc_ifetch_hits")
+        self._c_dram_ifetch_fills = counters.incrementer("dram_ifetch_fills")
+        self._c_l1d_accesses = counters.incrementer("l1d_accesses")
+        self._c_l1d_hits = counters.incrementer("l1d_hits")
+        self._c_l1d_misses = counters.incrementer("l1d_misses")
+        self._c_l1d_stores = counters.incrementer("l1d_stores")
+        self._c_l2_data_hits = counters.incrementer("l2_data_hits")
+        self._c_llc_data_hits = counters.incrementer("llc_data_hits")
+        self._c_dram_data_fills = counters.incrementer("dram_data_fills")
+        self._c_stream_prefetches = counters.incrementer("stream_prefetches")
 
     # -- instruction-side miss path -------------------------------------------
 
@@ -43,13 +56,13 @@ class MemoryHierarchy:
         entry's ready time is ``now + latency``.
         """
         if self.l2.lookup(line_addr) is not None:
-            self.counters.bump("l2_ifetch_hits")
+            self._c_l2_ifetch_hits()
             return self.config.l2.hit_latency, "l2"
         if self.llc.lookup(line_addr) is not None:
-            self.counters.bump("llc_ifetch_hits")
+            self._c_llc_ifetch_hits()
             self.l2.install(line_addr)
             return self.config.llc.hit_latency, "llc"
-        self.counters.bump("dram_ifetch_fills")
+        self._c_dram_ifetch_fills()
         self.llc.install(line_addr)
         self.l2.install(line_addr)
         return self.config.dram_latency, "dram"
@@ -59,23 +72,23 @@ class MemoryHierarchy:
     def load_latency(self, addr: int) -> int:
         """Latency of a demand load at byte address ``addr``."""
         line_addr = line_of(addr)
-        self.counters.bump("l1d_accesses")
+        self._c_l1d_accesses()
         if self.l1d.lookup(line_addr) is not None:
-            self.counters.bump("l1d_hits")
+            self._c_l1d_hits()
             return self.config.l1d.hit_latency
-        self.counters.bump("l1d_misses")
+        self._c_l1d_misses()
         latency = self._fill_data_line(line_addr)
         if self.stream is not None:
             for prefetch_line in self.stream.on_miss(line_addr):
                 if self.l1d.lookup(prefetch_line, touch=False) is None:
                     self._fill_data_line(prefetch_line)
-                    self.counters.bump("stream_prefetches")
+                    self._c_stream_prefetches()
         return self.config.l1d.hit_latency + latency
 
     def store_access(self, addr: int) -> None:
         """A store: write-allocate into L1D, marking the line dirty."""
         line_addr = line_of(addr)
-        self.counters.bump("l1d_stores")
+        self._c_l1d_stores()
         line = self.l1d.lookup(line_addr)
         if line is not None:
             line.dirty = True
@@ -88,14 +101,14 @@ class MemoryHierarchy:
     def _fill_data_line(self, line_addr: int) -> int:
         """Bring a data line into L1D (+inclusive L2/LLC); return miss latency."""
         if self.l2.lookup(line_addr) is not None:
-            self.counters.bump("l2_data_hits")
+            self._c_l2_data_hits()
             latency = self.config.l2.hit_latency
         elif self.llc.lookup(line_addr) is not None:
-            self.counters.bump("llc_data_hits")
+            self._c_llc_data_hits()
             self.l2.install(line_addr)
             latency = self.config.llc.hit_latency
         else:
-            self.counters.bump("dram_data_fills")
+            self._c_dram_data_fills()
             self.llc.install(line_addr)
             self.l2.install(line_addr)
             latency = self.config.dram_latency

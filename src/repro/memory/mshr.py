@@ -16,7 +16,7 @@ import heapq
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One in-flight miss."""
 
@@ -79,10 +79,14 @@ class MSHRFile:
 
     def pop_ready(self, cycle: int) -> list[MSHREntry]:
         """Remove and return every entry whose fill completes by ``cycle``."""
+        heap = self._ready_heap
+        if not heap or heap[0][0] > cycle:
+            return []
         ready: list[MSHREntry] = []
-        while self._ready_heap and self._ready_heap[0][0] <= cycle:
-            _, line_addr = heapq.heappop(self._ready_heap)
-            entry = self._entries.pop(line_addr, None)
+        entries = self._entries
+        while heap and heap[0][0] <= cycle:
+            _, line_addr = heapq.heappop(heap)
+            entry = entries.pop(line_addr, None)
             if entry is not None:
                 ready.append(entry)
         return ready

@@ -19,6 +19,7 @@ from repro.sim.presets import (
     eip_config,
     infinite_storage_config,
     loop_predictor_config,
+    miss_heavy_config,
     no_prefetch_config,
     opt_config,
     sw_profile_config,
@@ -59,6 +60,7 @@ __all__ = [
     "eip_config",
     "infinite_storage_config",
     "loop_predictor_config",
+    "miss_heavy_config",
     "no_prefetch_config",
     "sw_profile_config",
     "two_level_btb_config",

@@ -125,6 +125,32 @@ def opt_config(depth: int, max_instructions: int = 50_000, seed: int = 1) -> Sim
     return baseline_config(max_instructions, seed, ftq_depth=depth)
 
 
+def miss_heavy_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """A DRAM-bound instruction-fetch stress configuration.
+
+    No prefetching, a 4 KiB L1I, and an undersized L2/LLC so nearly every
+    fetch block misses all the way to a loaded memory system (400-cycle
+    DRAM, i.e. a busy datacenter part rather than Table II's unloaded 220).
+    This is the stall-dominated regime PAPER.md §III motivates UDP with —
+    the core spends >95% of cycles waiting on instruction fills — and it is
+    the reference preset for the simulator-throughput benchmark
+    (``benchmarks/bench_sim_throughput.py``): idle-cycle fast-forward shows
+    its largest wins exactly here.  The walker runs at 8 blocks/cycle so the
+    FTQ refills quickly after flushes (frontend stress, not walker stress).
+    """
+    config = baseline_config(max_instructions, seed)
+    config = config.replace(prefetcher=PrefetcherConfig(kind="none"))
+    memory = dataclasses.replace(
+        config.memory,
+        l1i=CacheConfig("L1I", 4 * 1024, 4, hit_latency=3, mshr_entries=32),
+        l2=CacheConfig("L2", 32 * 1024, 8, hit_latency=13, mshr_entries=32),
+        llc=CacheConfig("LLC", 128 * 1024, 16, hit_latency=36, mshr_entries=64),
+        dram_latency=400,
+    )
+    frontend = dataclasses.replace(config.frontend, ftq_blocks_per_cycle=8)
+    return config.replace(memory=memory, frontend=frontend)
+
+
 PRESET_BUILDERS = {
     "baseline": baseline_config,
     "perfect-icache": perfect_icache_config,
@@ -139,4 +165,5 @@ PRESET_BUILDERS = {
     "sw-profile": sw_profile_config,
     "two-level-btb": two_level_btb_config,
     "loop-predictor": loop_predictor_config,
+    "miss-heavy": miss_heavy_config,
 }

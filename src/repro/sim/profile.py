@@ -1,0 +1,230 @@
+"""Profiling harness for the cycle-level hot path (``repro profile``).
+
+Wraps one :class:`~repro.sim.simulator.Simulator` run in :mod:`cProfile` and
+maps the flat function stats back onto the per-cycle stages of
+:meth:`Simulator.step` (fills → backend → fetch/decode → FDIP → generate),
+so a throughput regression can be attributed to a stage before diving into
+individual functions.
+
+Stage attribution uses the *cumulative* time of each stage's root call —
+the functions ``step()`` invokes directly — which are mutually exclusive
+sub-trees of the run.  The residue line ("step overhead") is everything in
+``step()`` outside those roots: fast-forward probing, resteer recovery, and
+occupancy bookkeeping.  One caveat: a decode-time resteer flushes the
+frontend from *inside* the fetch stage, so its cost lands under fetch
+rather than the residue.
+
+See ``docs/performance.md`` for how this fits the optimization workflow,
+and ``benchmarks/bench_sim_throughput.py`` for the end-to-end KIPS
+benchmark.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import dataclasses
+import pstats
+import time
+from dataclasses import dataclass
+
+from repro.common.config import SimConfig
+from repro.sim.engine import program_for
+from repro.sim.simulator import Simulator
+from repro.workloads.profiles import get_profile
+
+# (stage label, source file suffix, function name) for every stage root
+# called directly from Simulator.step().  File suffixes disambiguate
+# generic names like ``scan``/``generate`` across modules.
+_STAGE_ROOTS = (
+    ("fills", "sim/simulator.py", "_process_fills"),
+    ("backend", "backend/core.py", "poll_resteer"),
+    ("backend", "backend/core.py", "retire_and_issue"),
+    ("fetch/decode", "sim/simulator.py", "_fetch_decode"),
+    ("fdip-scan", "frontend/fdip.py", "scan"),
+    ("generate", "frontend/bpu.py", "generate"),
+)
+_STAGE_ORDER = ("fills", "backend", "fetch/decode", "fdip-scan", "generate")
+
+
+def build_simulator(
+    workload: str, config: SimConfig, seed: int = 1
+) -> Simulator:
+    """Construct a Simulator for one suite workload, bypassing the engine.
+
+    Mirrors ``engine._execute``: the workload profile may pin intrinsic core
+    parameters (currently the load-dependence fraction), which are applied
+    on top of ``config``.  Used by the profiler and the throughput benchmark
+    where the run itself — not the cached result — is the object of study.
+    """
+    prof = get_profile(workload)
+    program = program_for(workload, seed)
+    if prof.load_dependence_fraction is not None:
+        core = dataclasses.replace(
+            config.core, load_dependence_fraction=prof.load_dependence_fraction
+        )
+        config = config.replace(core=core)
+    return Simulator(program, config, data_profile=prof.data)
+
+
+@dataclass
+class StageTime:
+    """Cumulative seconds and call count of one step() stage."""
+
+    name: str
+    seconds: float
+    calls: int
+
+
+@dataclass
+class FunctionTime:
+    """One row of the flat per-function profile (sorted by self time)."""
+
+    location: str  # file:line(function)
+    calls: int
+    tottime: float  # self time, excluding callees
+    cumtime: float  # including callees
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints (and can dump as JSON)."""
+
+    workload: str
+    config_name: str
+    instructions: int
+    seed: int
+    fast_forward: bool
+    wall_seconds: float
+    cycles: int
+    retired_instructions: int
+    steps_executed: int
+    ff_cycles_skipped: int
+    kips: float
+    step_seconds: float  # cumulative time inside Simulator.step()
+    stages: list[StageTime]
+    step_overhead_seconds: float  # step() minus the five stage sub-trees
+    top_functions: list[FunctionTime]
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _short_location(func: tuple[str, int, str]) -> str:
+    filename, line, name = func
+    if filename == "~":  # builtins
+        return name
+    parts = filename.replace("\\", "/").split("/")
+    return f"{'/'.join(parts[-2:])}:{line}({name})"
+
+
+def profile_run(
+    workload: str,
+    config: SimConfig,
+    config_name: str = "custom",
+    seed: int = 1,
+    fast_forward: bool = True,
+    top: int = 15,
+) -> ProfileReport:
+    """Profile one simulation and attribute time to step() stages.
+
+    ``fast_forward=False`` forces the naive stepper; ``True`` (the default)
+    defers to the simulator's own setting so ``REPRO_NO_FASTFORWARD=1``
+    still wins when the CLI flag is not given.
+    """
+    simulator = build_simulator(workload, config, seed)
+    if not fast_forward:
+        simulator.fast_forward_enabled = False
+    fast_forward = simulator.fast_forward_enabled
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    simulator.run()
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler)
+    # stats.stats maps (file, line, name) -> (calls, primitive, tot, cum, callers)
+    raw = stats.stats  # type: ignore[attr-defined]
+
+    step_seconds = 0.0
+    stage_totals = {name: StageTime(name, 0.0, 0) for name in _STAGE_ORDER}
+    for func, (cc, _nc, _tot, cum, _callers) in raw.items():
+        filename, _line, name = func
+        path = filename.replace("\\", "/")
+        if name == "step" and path.endswith("sim/simulator.py"):
+            step_seconds = cum
+            continue
+        for stage, suffix, fn_name in _STAGE_ROOTS:
+            if name == fn_name and path.endswith(suffix):
+                stage_totals[stage].seconds += cum
+                stage_totals[stage].calls += cc
+                break
+
+    rows = sorted(raw.items(), key=lambda item: item[1][2], reverse=True)
+    top_functions = [
+        FunctionTime(
+            location=_short_location(func),
+            calls=cc,
+            tottime=tot,
+            cumtime=cum,
+        )
+        for func, (cc, _nc, tot, cum, _callers) in rows[:top]
+    ]
+
+    retired = simulator.backend.retired_instructions
+    staged = sum(s.seconds for s in stage_totals.values())
+    return ProfileReport(
+        workload=workload,
+        config_name=config_name,
+        instructions=retired,
+        seed=seed,
+        fast_forward=fast_forward,
+        wall_seconds=wall,
+        cycles=simulator.cycle,
+        retired_instructions=retired,
+        steps_executed=simulator.steps_executed,
+        ff_cycles_skipped=simulator.ff_cycles_skipped,
+        kips=retired / wall / 1000.0 if wall > 0 else 0.0,
+        step_seconds=step_seconds,
+        stages=[stage_totals[name] for name in _STAGE_ORDER],
+        step_overhead_seconds=max(0.0, step_seconds - staged),
+        top_functions=top_functions,
+    )
+
+
+def format_report(report: ProfileReport) -> str:
+    """Human-readable rendering of a :class:`ProfileReport`."""
+    lines = [
+        f"profile: {report.workload} / {report.config_name} "
+        f"(fast-forward {'on' if report.fast_forward else 'off'})",
+        f"  retired {report.retired_instructions} instructions in "
+        f"{report.cycles} cycles, {report.wall_seconds:.2f}s wall "
+        f"({report.kips:.1f} KIPS)",
+        f"  step() invocations: {report.steps_executed}  "
+        f"fast-forwarded cycles: {report.ff_cycles_skipped}",
+        "",
+        "  per-stage breakdown (cumulative seconds inside step()):",
+    ]
+    denom = report.step_seconds or 1.0
+    for stage in report.stages:
+        share = 100.0 * stage.seconds / denom
+        lines.append(
+            f"    {stage.name:<13} {stage.seconds:8.3f}s  {share:5.1f}%"
+            f"  ({stage.calls} calls)"
+        )
+    share = 100.0 * report.step_overhead_seconds / denom
+    lines.append(
+        f"    {'step overhead':<13} {report.step_overhead_seconds:8.3f}s  {share:5.1f}%"
+        "  (fast-forward probe, resteers, bookkeeping)"
+    )
+    lines.append("")
+    lines.append("  hottest functions (by self time):")
+    lines.append(
+        f"    {'calls':>10} {'tottime':>9} {'cumtime':>9}  location"
+    )
+    for fn in report.top_functions:
+        lines.append(
+            f"    {fn.calls:>10} {fn.tottime:>9.3f} {fn.cumtime:>9.3f}  {fn.location}"
+        )
+    return "\n".join(lines)

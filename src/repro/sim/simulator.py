@@ -20,8 +20,11 @@ stall the stream until the fill arrives.
 
 from __future__ import annotations
 
+import os
+
 from repro.backend.core import OP_BRANCH, BackendCore
 from repro.branch.unit import BranchPredictionUnit
+from repro.common.addr import INSTR_BYTES
 from repro.common.config import SimConfig
 from repro.common.counters import Counters
 from repro.common.errors import SimulationError
@@ -110,6 +113,35 @@ class Simulator:
         self._warmup_cycle = 0
         self._warmup_retired = 0
         self._warmed = False
+
+        # Idle-cycle fast-forward (see docs/performance.md).  Counters are
+        # byte-identical either way; REPRO_NO_FASTFORWARD keeps the naive
+        # one-cycle-at-a-time stepper as the oracle for equivalence tests.
+        self.fast_forward_enabled = os.environ.get(
+            "REPRO_NO_FASTFORWARD", ""
+        ).strip().lower() not in ("1", "true", "yes", "on")
+        self.ff_cycles_skipped = 0  # cycles advanced without a full step
+        self.ff_jumps = 0  # number of fast-forward jumps taken
+        self.steps_executed = 0  # full step() bodies run (perf smoke checks)
+
+        # Hot-loop constants hoisted out of the per-cycle stages (the config
+        # is immutable once the simulator is constructed).
+        self._frontend_width = config.core.frontend_width
+        self._max_fetch_accesses = config.frontend.ftq_blocks_per_cycle
+        self._perfect_icache = config.frontend.perfect_icache
+        self._max_cycles = config.max_cycles
+
+        # Interned fast-path counter slots (see Counters.incrementer).
+        counters = self.counters
+        self._c_slots_lost_empty = counters.incrementer("fetch_slots_lost_empty_ftq")
+        self._c_slots_lost_icache = counters.incrementer("fetch_slots_lost_icache")
+        self._c_stall_icache = counters.incrementer("fetch_stall_icache_cycles")
+        self._c_slots_lost_mshr = counters.incrementer("fetch_slots_lost_mshr_full")
+        self._c_demand_accesses = counters.incrementer("icache_demand_accesses")
+        self._c_demand_hits = counters.incrementer("icache_demand_hits")
+        self._c_dispatch_stall = counters.incrementer("dispatch_stall_backend_full")
+        self._c_dispatched = counters.incrementer("dispatched_instructions")
+        self._c_l1i_fills = counters.incrementer("l1i_fills")
 
     def _build_standalone_prefetcher(self) -> InstructionPrefetcher | None:
         kind = self.config.prefetcher.kind
@@ -211,7 +243,17 @@ class Simulator:
         self.counters.set("retired_instructions", self.backend.retired_instructions)
 
     def step(self) -> None:
-        """Advance the machine by one cycle."""
+        """Advance the machine to its next non-trivial cycle.
+
+        Equivalent to stepping one cycle at a time: when the whole core is
+        provably idle until a future event (a fill completing, a uop
+        becoming issuable, a branch resolving), the intervening pure-stall
+        cycles are fast-forwarded in bulk with their per-cycle counters
+        accounted for exactly (see :meth:`_try_fast_forward`).
+        """
+        if self.fast_forward_enabled and self.counters.hook is None:
+            self._try_fast_forward()
+        self.steps_executed += 1
         self.cycle += 1
         cycle = self.cycle
         self._process_fills(cycle)
@@ -225,6 +267,68 @@ class Simulator:
         self.frontend.generate()
         self.ftq.sample_occupancy()
 
+    def _try_fast_forward(self) -> None:
+        """Jump ``cycle`` over a run of provably idle stall cycles.
+
+        A cycle is *pure stall* when every stage of :meth:`step` is a no-op
+        apart from fixed bookkeeping:
+
+        * the FTQ head is waiting on an in-flight fill (``ready_cycle`` in
+          the future), so fetch only bumps the stall counters;
+        * the FTQ is full, so the walker only bumps ``ftq_full_cycles_blocks``;
+        * FDIP's scan pointer has caught up with the FTQ tail (or FDIP is
+          disabled), so the scan is a no-op;
+        * no MSHR fill completes and the backend has no retire/issue/resteer
+          work (:meth:`BackendCore.next_event_cycle`).
+
+        The jump target is the earliest cycle at which any of those events
+        can occur; the skipped cycles' stall counters and occupancy samples
+        are bumped in bulk, making the result bit-identical to the naive
+        stepper (enforced by tests/sim/test_fastforward.py).
+
+        Never called with a tracer hook attached — the tracer narrates
+        per-cycle events, so it implies cycle-exact stepping.
+        """
+        ftq = self.ftq
+        entry = ftq.head()
+        if entry is None or ftq.has_space:
+            return
+        cycle = self.cycle
+        ready = entry.ready_cycle
+        if ready <= cycle + 1:  # unaccessed (-1), consumable, or imminent
+            return
+        fdip = self.fdip
+        if (
+            fdip.enabled
+            and not self._perfect_icache
+            and fdip.next_scan_seq - entry.seq < len(ftq)
+        ):
+            return  # FDIP still has FTQ entries to scan
+        backend_event = self.backend.next_event_cycle(cycle)
+        if backend_event is not None and backend_event <= cycle + 1:
+            return
+        target = ready
+        mshr_ready = self.mshr.next_ready_cycle()
+        if mshr_ready is not None and mshr_ready < target:
+            target = mshr_ready
+        if backend_event is not None and backend_event < target:
+            target = backend_event
+        if target > self._max_cycles:
+            # Never skip past the cycle limit: run() must raise at the same
+            # point (with the same counters) as the naive stepper.
+            target = self._max_cycles
+        skipped = target - cycle - 1
+        if skipped <= 0:
+            return
+        # Exactly what `skipped` naive stall iterations would have recorded.
+        self._c_stall_icache(skipped)
+        self._c_slots_lost_icache(skipped * self._frontend_width)
+        self.counters.bump("ftq_full_cycles_blocks", skipped)
+        ftq.sample_occupancy(skipped)
+        self.cycle = cycle + skipped
+        self.ff_cycles_skipped += skipped
+        self.ff_jumps += 1
+
     # -- fills ----------------------------------------------------------------------
 
     def _process_fills(self, cycle: int) -> None:
@@ -236,7 +340,7 @@ class Simulator:
                 prefetch_off_path=entry.off_path,
                 prefetch_udp_candidate=entry.udp_candidate,
             )
-            self.counters.bump("l1i_fills")
+            self._c_l1i_fills()
 
     # -- resteer ---------------------------------------------------------------------
 
@@ -250,59 +354,66 @@ class Simulator:
     # -- fetch + decode ---------------------------------------------------------------
 
     def _fetch_decode(self, cycle: int) -> None:
-        budget = self.config.core.frontend_width
+        budget = self._frontend_width
         accesses = 0
-        max_accesses = self.config.frontend.ftq_blocks_per_cycle
-        counters = self.counters
+        max_accesses = self._max_fetch_accesses
+        perfect_icache = self._perfect_icache
+        ftq = self.ftq
         while budget > 0:
-            entry = self.ftq.head()
+            entry = ftq.head()
             if entry is None:
-                counters.bump("fetch_slots_lost_empty_ftq", budget)
+                self._c_slots_lost_empty(budget)
                 return
             if entry.ready_cycle < 0:
-                if self.config.frontend.perfect_icache:
+                if perfect_icache:
                     entry.ready_cycle = cycle
-                    counters.bump("icache_demand_accesses")
-                    counters.bump("icache_demand_hits")
+                    self._c_demand_accesses()
+                    self._c_demand_hits()
                 else:
                     if accesses >= max_accesses:
                         return
                     accesses += 1
                     self._demand_access(entry, cycle)
                     if entry.ready_cycle < 0:
-                        counters.bump("fetch_slots_lost_mshr_full", budget)
+                        self._c_slots_lost_mshr(budget)
                         return
             if entry.ready_cycle > cycle:
-                counters.bump("fetch_slots_lost_icache", budget)
-                counters.bump("fetch_stall_icache_cycles")
+                self._c_slots_lost_icache(budget)
+                self._c_stall_icache()
                 return
             budget = self._dispatch_entry(entry, cycle, budget)
             if budget < 0:
                 return  # a decode-time resteer flushed the frontend
-            if entry.decode_offset >= entry.num_instrs and self.ftq.head() is entry:
-                self.ftq.pop()
+            if entry.decode_offset >= entry.num_instrs and ftq.head() is entry:
+                ftq.pop()
 
     def _dispatch_entry(self, entry: FTQEntry, cycle: int, budget: int) -> int:
         """Dispatch instructions from ``entry``; -1 signals a decode resteer."""
         backend = self.backend
         counters = self.counters
         ops = entry.ops
-        while budget > 0 and entry.decode_offset < entry.num_instrs:
-            if not backend.can_dispatch:
-                counters.bump("dispatch_stall_backend_full")
+        num_instrs = entry.num_instrs
+        # Inlined BackendCore.can_dispatch (a property probed per instruction).
+        rob = backend.rob
+        rs = backend.rs
+        rob_entries = backend.config.rob_entries
+        rs_entries = backend.config.rs_entries
+        while budget > 0 and entry.decode_offset < num_instrs:
+            if len(rob) >= rob_entries or len(rs) >= rs_entries:
+                self._c_dispatch_stall()
                 return 0
             offset = entry.decode_offset
-            pc = entry.pc_at(offset)
-            seen = entry.branch_at(pc)
-            on_path = entry.instr_on_path(offset)
+            pc = entry.start + offset * INSTR_BYTES
+            seen = entry.branch_at(pc) if entry.branches else None
+            on_path = entry.on_path and offset < entry.on_path_instrs
             entry.decode_offset += 1
             budget -= 1
             if seen is None:
                 backend.dispatch(pc, ops[offset], on_path, cycle)
-                counters.bump("dispatched_instructions")
+                self._c_dispatched()
                 continue
 
-            counters.bump("dispatched_instructions")
+            self._c_dispatched()
             branch = seen.branch
             if not seen.detected:
                 self._decode_btb_fill(branch)
@@ -345,10 +456,10 @@ class Simulator:
     def _demand_access(self, entry: FTQEntry, cycle: int) -> None:
         line_addr = entry.line_addr
         counters = self.counters
-        counters.bump("icache_demand_accesses")
+        self._c_demand_accesses()
         line = self.l1i.lookup(line_addr)
         if line is not None:
-            counters.bump("icache_demand_hits")
+            self._c_demand_hits()
             entry.ready_cycle = cycle
             if line.prefetch_bit and entry.on_path:
                 line.prefetch_bit = False

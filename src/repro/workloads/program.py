@@ -15,7 +15,7 @@ the containing block, which is what lets the frontend walk arbitrary
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from enum import IntEnum
 
@@ -213,9 +213,12 @@ class Program:
 
     def block_at(self, addr: int) -> BasicBlock:
         """Return the basic block containing ``addr`` (wrapping if outside)."""
-        addr = self.wrap(addr)
-        i = bisect.bisect_right(self._starts, addr) - 1
-        return self.blocks[i]
+        # Inlined wrap(): this is the hottest program-model call (every walked
+        # fetch block), and in-region addresses are the overwhelming case.
+        start = self.code_start
+        if addr < start or addr >= self.code_end:
+            addr = start + (addr - start) % (self.code_end - start)
+        return self.blocks[bisect_right(self._starts, addr) - 1]
 
     def branch_between(self, start: int, end: int) -> Branch | None:
         """Return the first static branch with ``start <= pc < end``, if any.

@@ -67,6 +67,54 @@ def test_reset():
     assert c.as_dict() == {}
 
 
+def test_merge_does_not_fire_hook():
+    a = Counters()
+    b = Counters()
+    b.bump("x", 4)
+    seen = []
+    a.hook = lambda name, amount: seen.append((name, amount))
+    a.merge(b)
+    assert seen == []
+    assert a["x"] == 4
+
+
+def test_as_dict_omits_zero_valued_counters():
+    c = Counters()
+    c.bump("hot", 2)
+    c.set("explicit_zero", 0)
+    c.incrementer("registered_but_untouched")
+    assert c.as_dict() == {"hot": 2}
+
+
+def test_incrementer_matches_bump():
+    c = Counters()
+    inc = c.incrementer("a")
+    inc()
+    inc(3)
+    c.bump("a", 2)
+    assert c["a"] == 6
+
+
+def test_incrementer_fires_hook():
+    c = Counters()
+    inc = c.incrementer("a")
+    seen = []
+    c.hook = lambda name, amount: seen.append((name, amount))
+    inc()
+    inc(5)
+    assert seen == [("a", 1), ("a", 5)]
+
+
+def test_incrementer_survives_reset():
+    c = Counters()
+    inc = c.incrementer("a")
+    inc(7)
+    c.reset()
+    assert c["a"] == 0
+    inc(2)  # the interned slot must be re-registered by reset()
+    assert c["a"] == 2
+
+
 def test_ratio_normal():
     assert ratio(1, 2) == 0.5
 

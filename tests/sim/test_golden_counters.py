@@ -1,0 +1,79 @@
+"""Golden-counter regression: every preset's full counter set is pinned.
+
+One fixed-seed run per preset (gcc, 3000 instructions, seed 1) with the
+complete ``measured_counters()`` dict checked into
+``tests/sim/fixtures/golden_counters.json``.  Any change to simulated
+behaviour — however small — shows up as a counter diff here, which makes
+the fixture the tripwire for "performance work must not change results"
+(the fast-forward equivalence tests check FF-vs-naive; this one checks
+today-vs-the-day-the-fixture-was-blessed).
+
+Intentional behaviour changes must regenerate the fixture and review the
+diff::
+
+    PYTHONPATH=src python tests/sim/test_golden_counters.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim.presets import PRESET_BUILDERS
+from repro.sim.profile import build_simulator
+
+WORKLOAD = "gcc"
+INSTRUCTIONS = 3_000
+SEED = 1
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "golden_counters.json"
+)
+
+
+def _run_preset(preset: str) -> dict[str, int]:
+    config = PRESET_BUILDERS[preset](INSTRUCTIONS, SEED)
+    simulator = build_simulator(WORKLOAD, config, SEED)
+    simulator.run()
+    return simulator.measured_counters()
+
+
+def _load_fixture() -> dict:
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_fixture_covers_every_preset():
+    golden = _load_fixture()["counters"]
+    assert sorted(golden) == sorted(PRESET_BUILDERS), (
+        "preset list changed: regenerate the fixture "
+        "(PYTHONPATH=src python tests/sim/test_golden_counters.py)"
+    )
+
+
+@pytest.mark.parametrize("preset", sorted(PRESET_BUILDERS))
+def test_counters_match_golden(preset):
+    golden = _load_fixture()["counters"][preset]
+    current = _run_preset(preset)
+    assert current == golden, (
+        f"{preset}: measured counters diverged from the blessed fixture; "
+        "if intentional, regenerate and review the diff"
+    )
+
+
+def _regenerate() -> None:
+    payload = {
+        "workload": WORKLOAD,
+        "instructions": INSTRUCTIONS,
+        "seed": SEED,
+        "counters": {
+            preset: _run_preset(preset) for preset in sorted(PRESET_BUILDERS)
+        },
+    }
+    with open(FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    _regenerate()
