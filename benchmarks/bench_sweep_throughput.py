@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Sweep throughput benchmark: FTQ-depth sweep cold vs. warm reuse layers.
+
+This measures what the program store + functional-warmup checkpointing
+(``repro.workloads.store`` / ``repro.sim.checkpoint``) buy on the shape of
+batch every paper figure runs: one workload simulated at many FTQ depths,
+where the synthesized program and the functional warmup are identical
+across the whole sweep.  Three modes of the same ``run_batch`` call are
+timed (result cache always disabled — the point is re-simulation cost, not
+result memoization):
+
+* **cold** — ``REPRO_NO_CHECKPOINT=1``: every run re-synthesizes (first
+  run of the process) and re-walks the full functional warmup, as the
+  engine behaved before the reuse layers existed;
+* **first-warm** — reuse enabled against an empty store: the sweep's first
+  run per checkpoint key pays capture, the rest restore (a user's first
+  sweep after ``repro cache clear``);
+* **warm** — reuse enabled with the store populated (every later sweep
+  over the same workload, e.g. re-running a figure at a new prefetcher
+  setting).
+
+Reps are interleaved against wall-clock drift and the median is reported.
+Every mode's per-run counters are cross-checked byte-identical against the
+cold reference.  The committed results live in ``BENCH_sweep.json``;
+regenerate with::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py
+
+Sizing: the measured region is deliberately short (2000 instructions) next
+to the default 12k-block warmup, matching the paper-figure regime where
+pre-measurement work dominates; ``--jobs`` defaults to 1 so the speedup is
+pure redundancy elimination, not parallelism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from statistics import median
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.sim.engine import BatchStats, run_batch, spec_for  # noqa: E402
+from repro.sim.presets import baseline_config  # noqa: E402
+from repro.workloads import store as program_store  # noqa: E402
+
+DEFAULT_DEPTHS = [8, 12, 16, 24, 32, 48, 64, 96]
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_sweep.json"
+)
+
+
+def _specs(workload: str, n: int, seed: int, depths: list[int]):
+    base = baseline_config(n, seed)
+    return [
+        spec_for(workload, base.with_ftq_depth(d), seed, f"ftq{d}")
+        for d in depths
+    ]
+
+
+def _run_sweep(specs, jobs: int) -> tuple[list, BatchStats, float]:
+    stats = BatchStats()
+    started = time.perf_counter()
+    results = run_batch(specs, jobs=jobs, no_cache=True, progress=stats)
+    return results, stats, time.perf_counter() - started
+
+
+def _fresh_store_root() -> str:
+    root = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    os.environ["REPRO_CACHE_DIR"] = root
+    return root
+
+
+def _reset_process_state() -> None:
+    """Make the next sweep pay program synthesis again, like a new process."""
+    from repro.sim import checkpoint as ckpt
+
+    program_store.clear_memo()
+    ckpt._BLOB_MEMO.clear()
+
+
+def bench(workload: str, n: int, seed: int, depths: list[int],
+          jobs: int, reps: int) -> dict:
+    cold_secs: list[float] = []
+    first_secs: list[float] = []
+    warm_secs: list[float] = []
+    reference = None
+    stats_snapshot: dict[str, str] = {}
+
+    for _ in range(reps):
+        specs = _specs(workload, n, seed, depths)
+
+        os.environ["REPRO_NO_CHECKPOINT"] = "1"
+        _reset_process_state()
+        cold_results, cold_stats, secs = _run_sweep(specs, jobs)
+        cold_secs.append(secs)
+        stats_snapshot["cold"] = cold_stats.summary()
+        counters = [r.counters for r in cold_results]
+        if reference is None:
+            reference = counters
+        elif counters != reference:
+            raise SystemExit("cold reps diverged — nondeterminism bug")
+
+        del os.environ["REPRO_NO_CHECKPOINT"]
+        root = _fresh_store_root()
+        try:
+            _reset_process_state()
+            first_results, first_stats, secs = _run_sweep(specs, jobs)
+            first_secs.append(secs)
+            stats_snapshot["first_warm"] = first_stats.summary()
+            if [r.counters for r in first_results] != reference:
+                raise SystemExit("first-warm sweep diverged from cold")
+
+            _reset_process_state()  # warm disk, cold process: the honest case
+            warm_results, warm_stats, secs = _run_sweep(specs, jobs)
+            warm_secs.append(secs)
+            stats_snapshot["warm"] = warm_stats.summary()
+            if [r.counters for r in warm_results] != reference:
+                raise SystemExit("warm sweep diverged from cold")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+            os.environ.pop("REPRO_CACHE_DIR", None)
+
+    cold_median = median(cold_secs)
+    first_median = median(first_secs)
+    warm_median = median(warm_secs)
+    return {
+        "workload": workload,
+        "instructions": n,
+        "seed": seed,
+        "ftq_depths": depths,
+        "configs": len(depths),
+        "jobs": jobs,
+        "cold": {"median_seconds": round(cold_median, 3),
+                 "seconds": [round(s, 3) for s in cold_secs]},
+        "first_warm": {"median_seconds": round(first_median, 3),
+                       "seconds": [round(s, 3) for s in first_secs]},
+        "warm": {"median_seconds": round(warm_median, 3),
+                 "seconds": [round(s, 3) for s in warm_secs]},
+        "speedup_warm_vs_cold": round(cold_median / warm_median, 2),
+        "speedup_first_warm_vs_cold": round(cold_median / first_median, 2),
+        "counters_identical": True,  # enforced above; divergence aborts
+        "batch_stats": stats_snapshot,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-w", "--workload", default="gcc")
+    parser.add_argument("-n", "--instructions", type=int, default=2_000,
+                        help="measured instructions per run (warmup dominates)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--depths", default=",".join(str(d) for d in DEFAULT_DEPTHS),
+        help="comma-separated FTQ depths (one run each)",
+    )
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="pool workers (default 1: isolate reuse gains)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per mode (median is reported)")
+    parser.add_argument("-o", "--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    depths = [int(d) for d in args.depths.split(",") if d.strip()]
+    row = bench(args.workload, args.instructions, args.seed, depths,
+                args.jobs, args.reps)
+
+    print(f"{args.workload}: {len(depths)}-config FTQ sweep, "
+          f"{args.instructions} measured instructions, jobs={args.jobs}")
+    for mode in ("cold", "first_warm", "warm"):
+        print(f"  {mode:<11} {row[mode]['median_seconds']:>7.3f}s   "
+              f"({row['batch_stats'][mode]})")
+    print(f"  warm vs cold speedup: {row['speedup_warm_vs_cold']:.2f}x "
+          f"(first warm: {row['speedup_first_warm_vs_cold']:.2f}x)")
+
+    payload = {
+        "benchmark": "sweep_throughput",
+        "python": sys.version.split()[0],
+        "reps": args.reps,
+        "results": [row],
+    }
+    out = os.path.normpath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

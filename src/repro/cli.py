@@ -9,7 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro profile -w verilator -c miss-heavy -n 50000
     python -m repro trace -w mysql --blocks 3000 -o mysql.trace.jsonl
     python -m repro cache info
-    python -m repro cache clear
+    python -m repro cache clear --class checkpoints
+    python -m repro bless-golden
 
 Simulation-running commands accept engine knobs: ``--jobs N`` (worker
 processes; default ``REPRO_JOBS`` or all cores), ``--no-cache`` (bypass the
@@ -72,7 +73,14 @@ def _install_engine_options(args) -> engine.BatchStats:
     def callback(event: engine.RunEvent) -> None:
         stats(event)
         if verbose:
-            source = "cache hit" if event.cached else f"{event.seconds:.2f}s"
+            if event.cached:
+                source = "cache hit"
+            else:
+                source = f"{event.seconds:.2f}s"
+                if event.checkpoint == "restored":
+                    source += f", warmup restored in {event.warmup_seconds:.2f}s"
+                elif event.checkpoint == "created":
+                    source += f", warmup checkpointed ({event.warmup_seconds:.2f}s)"
             print(
                 f"[{event.completed}/{event.total}] "
                 f"{event.spec.workload}/{event.spec.label} ({source})",
@@ -263,17 +271,40 @@ def cmd_cache(args) -> int:
     cache = engine.default_cache()
     if args.action == "info":
         info = cache.info()
+        total = info.size_bytes + info.program_bytes + info.checkpoint_bytes
         print(f"cache directory : {info.root}")
-        print(f"cached results  : {info.entries}")
-        print(f"total size      : {info.size_bytes / 1024:.1f} KiB")
+        print(f"results         : {info.entries} entries, "
+              f"{info.size_bytes / 1024:.1f} KiB")
+        print(f"programs        : {info.programs} entries, "
+              f"{info.program_bytes / 1024:.1f} KiB")
+        print(f"checkpoints     : {info.checkpoints} entries, "
+              f"{info.checkpoint_bytes / 1024:.1f} KiB")
+        print(f"total size      : {total / 1024:.1f} KiB")
         print(f"key fingerprint : {engine.package_fingerprint()}")
         return 0
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.root}")
+        selected = (
+            ("results", "programs", "checkpoints")
+            if args.artifact_class == "all"
+            else (args.artifact_class,)
+        )
+        removed = cache.clear(selected)
+        print(f"removed {removed} cached artifacts "
+              f"({', '.join(selected)}) from {cache.root}")
         return 0
     print(f"unknown cache action {args.action!r}", file=sys.stderr)
     return 2
+
+
+def cmd_bless_golden(args) -> int:
+    from repro.sim import golden
+
+    written = golden.bless(args.out or None)
+    print(f"blessed {len(PRESET_BUILDERS)} presets "
+          f"({golden.WORKLOAD}, {golden.INSTRUCTIONS} instructions, "
+          f"seed {golden.SEED}) -> {written}")
+    print("review the diff before committing: git diff " + str(written))
+    return 0
 
 
 def cmd_reuse(args) -> int:
@@ -335,9 +366,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(figure)
     figure.set_defaults(fn=cmd_figure)
 
-    cache = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
     cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--class", dest="artifact_class", default="all",
+        choices=["results", "programs", "checkpoints", "all"],
+        help="artifact class to clear (default: all)",
+    )
     cache.set_defaults(fn=cmd_cache)
+
+    bless = sub.add_parser(
+        "bless-golden",
+        help="regenerate tests/sim/fixtures/golden_counters.json",
+    )
+    bless.add_argument(
+        "-o", "--out", default="",
+        help="write the fixture elsewhere (default: the committed path)",
+    )
+    bless.set_defaults(fn=cmd_bless_golden)
 
     profile = sub.add_parser(
         "profile", help="cProfile one run with a per-stage hot-path breakdown"

@@ -1,0 +1,143 @@
+"""Shared plumbing for the on-disk artifact stores.
+
+Three content-addressed artifact classes live under one cache root
+(``REPRO_CACHE_DIR``, default ``~/.cache/repro``):
+
+* **results** — serialized ``SimResult`` objects
+  (:class:`repro.sim.engine.ResultCache`, ``<root>/<k>/<key>.json``),
+* **programs** — pickled synthetic ``Program`` objects
+  (:class:`repro.workloads.store.ProgramStore`, ``<root>/programs/...``),
+* **checkpoints** — functional-warmup state snapshots
+  (:class:`repro.sim.checkpoint.CheckpointStore`, ``<root>/checkpoints/...``).
+
+This module holds what all three share: the root resolution, the package
+fingerprint that enters every key, canonical JSON key hashing, atomic
+writes, and directory statistics.  It lives in ``repro.common`` because the
+stores span layers (workloads and sim) that must not import each other.
+
+``REPRO_NO_CHECKPOINT=1`` disables the two *reuse* layers (programs and
+checkpoints) — simulations then rebuild and re-warm from scratch exactly as
+if the stores did not exist.  The result cache has its own independent
+switch (``REPRO_NO_CACHE``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CHECKPOINT_ENV = "REPRO_NO_CHECKPOINT"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def cache_root() -> Path:
+    """The active cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def reuse_disabled() -> bool:
+    """True when ``REPRO_NO_CHECKPOINT`` disables program/checkpoint reuse."""
+    return os.environ.get(NO_CHECKPOINT_ENV, "").strip().lower() in _TRUTHY
+
+
+@lru_cache(maxsize=1)
+def package_fingerprint() -> str:
+    """Hash of every ``repro`` source file plus the package version.
+
+    Included in each artifact key so that editing any simulator module (or
+    bumping the version) invalidates every stale entry without a manual
+    ``repro cache clear``.
+    """
+    digest = hashlib.sha256()
+    root = Path(__file__).resolve().parents[1]
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # pragma: no cover - racing file removal
+            continue
+    try:
+        from repro import __version__
+
+        digest.update(__version__.encode())
+    except Exception:  # pragma: no cover - partial install
+        pass
+    return digest.hexdigest()[:16]
+
+
+def canonical_key(payload: dict) -> str:
+    """SHA-256 over the canonical JSON rendering of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def shard_path(root: Path, key: str, suffix: str) -> Path:
+    """The two-level sharded path ``<root>/<key[:2]>/<key><suffix>``."""
+    return root / key[:2] / f"{key}{suffix}"
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` atomically (temp file + ``os.replace``).
+
+    Filesystem errors are swallowed: a store write failing must never fail
+    the simulation whose result it was caching.
+    """
+    tmp_name = None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except OSError:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+
+def read_bytes_or_none(path: Path) -> bytes | None:
+    """Read a file, treating any filesystem error as a miss."""
+    try:
+        return path.read_bytes()
+    except OSError:
+        return None
+
+
+def dir_stats(root: Path, pattern: str) -> tuple[int, int]:
+    """(entry count, total bytes) of files matching ``pattern`` under ``root``."""
+    entries = 0
+    size = 0
+    if root.is_dir():
+        for path in root.glob(pattern):
+            try:
+                size += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+    return entries, size
+
+
+def clear_dir(root: Path, pattern: str) -> int:
+    """Delete files matching ``pattern`` under ``root``; returns the count."""
+    removed = 0
+    if root.is_dir():
+        for path in list(root.glob(pattern)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+    return removed

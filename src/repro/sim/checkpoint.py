@@ -1,0 +1,376 @@
+"""Functional-warmup checkpointing: snapshot and restore warmed state.
+
+Every run in a sweep replays the identical functional warmup — 12k oracle
+blocks of BTB/TAGE/iBTB/cache training — before its first measured cycle,
+and for short measured regions that warmup dominates wall-clock.  This
+module makes warmup a cacheable artifact:
+
+* :func:`capture_warmup` serializes everything ``Simulator.functional_warmup``
+  mutates — the oracle walk position, the L1I/L1D/L2/LLC contents with their
+  LRU order, the BTB/iBTB/TAGE tables, the global history, the RAS, the UDP
+  useful-set (Bloom filters + coalescer), the counter values, and the
+  warmup baseline snapshot;
+* :func:`restore_warmup` injects that state into a freshly constructed
+  simulator, which then behaves byte-for-byte like one that ran the warmup
+  itself (``tests/sim/test_checkpoint.py`` enforces equality of
+  ``measured_counters()`` per preset);
+* :class:`CheckpointStore` persists the pickled snapshots under
+  ``<cache_root>/checkpoints/`` keyed by :func:`checkpoint_key`.
+
+**Key derivation is explicit**: only the configuration fields that can
+influence warmup-produced state enter the key — ``functional_warmup_blocks``
+plus the full ``branch``, ``memory``, and ``udp`` sub-configs (the warmup
+trains predictors, fills the hierarchy, and seeds the useful-set, and
+nothing else).  Measured-region knobs — FTQ depth and the rest of the
+frontend config, core widths, UFTQ mode, the prefetcher selection, the
+instruction budget — are deliberately excluded, so an entire FTQ-depth
+sweep shares a single checkpoint (``tests/sim/test_checkpoint_key.py``).
+
+Restoration rules worth knowing when extending the simulator:
+
+* state aliased by other components is restored **in place** (the counters
+  dict backs interned incrementer closures; ``bpu.history`` is shared with
+  TAGE; cache ``_sets`` lists are aliased by FDIP via ``sim.l1i``);
+* un-aliased pure-data structures (BTB, iBTB, TAGE tables) are pickled
+  whole and swapped in;
+* caches are serialized as per-set line tuples rather than pickled
+  ``SetAssocCache`` objects — the L1I carries a bound-method eviction hook
+  that would drag the whole simulator into the pickle.
+
+``REPRO_NO_CHECKPOINT=1`` opts out (the engine re-runs warmup from
+scratch); a corrupt or stale snapshot raises :class:`CheckpointError`,
+which callers treat as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.common.artifacts import (
+    NO_CHECKPOINT_ENV,
+    atomic_write_bytes,
+    cache_root,
+    canonical_key,
+    clear_dir,
+    dir_stats,
+    package_fingerprint,
+    read_bytes_or_none,
+    reuse_disabled,
+    shard_path,
+)
+from repro.common.config import SimConfig
+from repro.memory.cache import CacheLine, SetAssocCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import Simulator
+
+__all__ = [
+    "NO_CHECKPOINT_ENV",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointStore",
+    "capture_warmup",
+    "checkpoint_key",
+    "checkpointing_enabled",
+    "restore_warmup",
+    "warmup_config_subset",
+]
+
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(Exception):
+    """A snapshot cannot be restored (corrupt, stale, or shape-mismatched)."""
+
+
+def checkpointing_enabled() -> bool:
+    """False when ``REPRO_NO_CHECKPOINT`` opts out of warmup reuse."""
+    return not reuse_disabled()
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+# ---------------------------------------------------------------------------
+
+# The configuration fields functional warmup reads, directly or through the
+# components it trains.  Everything else in SimConfig only affects the
+# measured region and must NOT enter the key (that sharing is the point).
+WARMUP_CONFIG_FIELDS = ("functional_warmup_blocks", "branch", "memory", "udp")
+
+
+def warmup_config_subset(config: SimConfig) -> dict:
+    """The canonical dict of config fields that shape warmed state.
+
+    * ``functional_warmup_blocks`` — how far the oracle walks;
+    * ``branch`` — BTB/iBTB/TAGE/RAS geometry and history lengths;
+    * ``memory`` — L1I/L1D/L2/LLC geometry (set counts, associativity);
+    * ``udp`` — whether a useful-set exists and its Bloom/coalescer sizing.
+    """
+    return {
+        "functional_warmup_blocks": config.functional_warmup_blocks,
+        "branch": dataclasses.asdict(config.branch),
+        "memory": dataclasses.asdict(config.memory),
+        "udp": dataclasses.asdict(config.udp),
+    }
+
+
+def checkpoint_key(program_key: str, seed: int, config: SimConfig) -> str:
+    """Content key of the warmed state a (program, seed, config) produces."""
+    return canonical_key(
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": package_fingerprint(),
+            "program": program_key,
+            "seed": seed,
+            "warmup": warmup_config_subset(config),
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Capture
+# ---------------------------------------------------------------------------
+
+
+def _cache_state(cache: SetAssocCache) -> list[list[tuple]]:
+    """Per-set (LRU->MRU ordered) line tuples, cheap to pickle."""
+    return [
+        [
+            (
+                line.line_addr,
+                line.prefetch_bit,
+                line.prefetch_off_path,
+                line.prefetch_udp_candidate,
+                line.dirty,
+            )
+            for line in way_set.values()
+        ]
+        for way_set in cache._sets
+    ]
+
+
+def capture_warmup(sim: "Simulator") -> bytes:
+    """Serialize all state :meth:`Simulator.functional_warmup` mutated.
+
+    Must be called on a simulator that has completed its functional warmup
+    and not yet executed a measured cycle.
+    """
+    if not sim._warmed or sim.cycle != 0:
+        raise CheckpointError("capture requires a warmed, unstarted simulator")
+    bpu = sim.bpu
+    tage = bpu.tage
+    useful = None
+    if sim.udp is not None:
+        us = sim.udp.useful_set
+        useful = {
+            "exact": sorted(us._exact),
+            "filters": {
+                size: (bytes(f._array), f.inserted)
+                for size, f in us.filters.items()
+            },
+            "coalescer": list(us.coalescer._lines),
+            "window": (us._window_unuseful, us._window_total),
+        }
+    state = {
+        "schema": CHECKPOINT_SCHEMA,
+        "oracle": {
+            "pc": sim.oracle.pc,
+            "call_stack": list(sim.oracle.call_stack),
+            "blocks_walked": sim.oracle.blocks_walked,
+            "instrs_walked": sim.oracle.instrs_walked,
+            "occurrences": dict(sim.oracle._occurrences),
+        },
+        "spec_pc": sim.frontend.spec_pc,
+        "history": bpu.history.checkpoint(),
+        "tage": {
+            "base": tage.base,
+            "tables": tage.tables,
+            "use_alt_counter": tage.use_alt_counter,
+            "tick": tage._tick,
+        },
+        "btb": bpu.btb,
+        "ibtb": bpu.ibtb,
+        "ras": {
+            "stack": list(bpu.ras._stack),
+            "overflows": bpu.ras.overflows,
+            "underflows": bpu.ras.underflows,
+        },
+        "caches": {
+            "l1i": _cache_state(sim.l1i),
+            "l1d": _cache_state(sim.hierarchy.l1d),
+            "l2": _cache_state(sim.hierarchy.l2),
+            "llc": _cache_state(sim.hierarchy.llc),
+        },
+        "useful_set": useful,
+        "counters": dict(sim.counters._values),
+        "warmup_baseline": sim._warmup_baseline,
+    }
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ---------------------------------------------------------------------------
+# Restore
+# ---------------------------------------------------------------------------
+
+
+def _restore_cache(cache: SetAssocCache, sets_state: list[list[tuple]]) -> None:
+    """Rebuild a cache's contents in place (``_sets`` is aliased elsewhere)."""
+    if len(sets_state) != len(cache._sets):
+        raise CheckpointError("cache geometry mismatch")
+    for way_set, lines in zip(cache._sets, sets_state):
+        way_set.clear()
+        for addr, prefetch, off_path, udp_candidate, dirty in lines:
+            way_set[addr] = CacheLine(
+                addr, prefetch, off_path, udp_candidate, dirty
+            )
+
+
+def restore_warmup(sim: "Simulator", blob: bytes) -> None:
+    """Inject a captured snapshot into a freshly constructed simulator.
+
+    After this returns, ``sim.run()`` proceeds directly to the measured
+    region (``_warmed`` is set), producing counters byte-identical to a
+    from-scratch warmup.  Raises :class:`CheckpointError` on any corrupt or
+    incompatible snapshot; the simulator must then be considered unusable
+    (callers construct a fresh one and warm from scratch).
+    """
+    if sim._warmed or sim.cycle != 0:
+        raise CheckpointError("restore requires a pristine simulator")
+    try:
+        state = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+    if not isinstance(state, dict) or state.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError("checkpoint schema mismatch")
+    try:
+        oracle_state = state["oracle"]
+        tage_state = state["tage"]
+        caches = state["caches"]
+
+        oracle = sim.oracle
+        oracle.pc = oracle_state["pc"]
+        oracle.call_stack[:] = oracle_state["call_stack"]
+        oracle.blocks_walked = oracle_state["blocks_walked"]
+        oracle.instrs_walked = oracle_state["instrs_walked"]
+        oracle._occurrences.clear()
+        oracle._occurrences.update(oracle_state["occurrences"])
+
+        bpu = sim.bpu
+        # In place: TAGE holds the same GlobalHistory object.
+        bpu.history.restore(state["history"])
+        tage = bpu.tage
+        tage.base = tage_state["base"]
+        tage.tables = tage_state["tables"]
+        tage.use_alt_counter = tage_state["use_alt_counter"]
+        tage._tick = tage_state["tick"]
+        bpu.btb = state["btb"]
+        bpu.ibtb = state["ibtb"]
+        ras_state = state["ras"]
+        bpu.ras._stack[:] = ras_state["stack"]
+        bpu.ras.overflows = ras_state["overflows"]
+        bpu.ras.underflows = ras_state["underflows"]
+
+        _restore_cache(sim.l1i, caches["l1i"])
+        _restore_cache(sim.hierarchy.l1d, caches["l1d"])
+        _restore_cache(sim.hierarchy.l2, caches["l2"])
+        _restore_cache(sim.hierarchy.llc, caches["llc"])
+
+        useful = state["useful_set"]
+        if (useful is None) != (sim.udp is None):
+            raise CheckpointError("UDP enablement mismatch")
+        if useful is not None:
+            us = sim.udp.useful_set
+            us._exact = set(useful["exact"])
+            for size, (array, inserted) in useful["filters"].items():
+                bloom = us.filters[size]
+                if len(array) != len(bloom._array):
+                    raise CheckpointError("bloom filter geometry mismatch")
+                bloom._array[:] = array
+                bloom.inserted = inserted
+            us.coalescer._lines = OrderedDict(
+                (addr, None) for addr in useful["coalescer"]
+            )
+            us._window_unuseful, us._window_total = useful["window"]
+
+        # In place: interned incrementer closures bind this exact dict.
+        values = sim.counters._values
+        values.clear()
+        for name in sim.counters._interned:
+            values[name] = 0
+        values.update(state["counters"])
+
+        sim.frontend.spec_pc = state["spec_pc"]
+        sim._warmup_baseline = state["warmup_baseline"]
+        sim._warmed = True
+    except CheckpointError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - malformed snapshot contents
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# On-disk store
+# ---------------------------------------------------------------------------
+
+# Small per-process memo of recently used blobs: within one serial batch the
+# same checkpoint is restored once per spec, and the blob bytes are
+# immutable, so re-reading the file every time is pure waste.
+_BLOB_MEMO: OrderedDict[tuple[str, str], bytes] = OrderedDict()
+_BLOB_MEMO_CAPACITY = 8
+
+
+class CheckpointStore:
+    """Pickled warmup snapshots under ``<root>/<key[:2]>/<key>.ckpt``."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else cache_root() / "checkpoints"
+
+    def path_for(self, key: str) -> Path:
+        return shard_path(self.root, key, ".ckpt")
+
+    def exists(self, key: str) -> bool:
+        memo_key = (str(self.root), key)
+        return memo_key in _BLOB_MEMO or self.path_for(key).is_file()
+
+    def get(self, key: str) -> bytes | None:
+        """The stored snapshot bytes, or ``None`` on a miss.
+
+        Content validation happens in :func:`restore_warmup`; a blob that
+        fails to restore should be treated as a miss by the caller.
+        """
+        memo_key = (str(self.root), key)
+        blob = _BLOB_MEMO.get(memo_key)
+        if blob is not None:
+            _BLOB_MEMO.move_to_end(memo_key)
+            return blob
+        blob = read_bytes_or_none(self.path_for(key))
+        if blob is not None:
+            self._memoize(memo_key, blob)
+        return blob
+
+    def put(self, key: str, blob: bytes) -> None:
+        """Atomically persist a snapshot; filesystem errors are non-fatal."""
+        atomic_write_bytes(self.path_for(key), blob)
+        self._memoize((str(self.root), key), blob)
+
+    @staticmethod
+    def _memoize(memo_key: tuple[str, str], blob: bytes) -> None:
+        _BLOB_MEMO[memo_key] = blob
+        _BLOB_MEMO.move_to_end(memo_key)
+        while len(_BLOB_MEMO) > _BLOB_MEMO_CAPACITY:
+            _BLOB_MEMO.popitem(last=False)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> tuple[int, int]:
+        """(entries, bytes) currently stored."""
+        return dir_stats(self.root, "*/*.ckpt")
+
+    def clear(self) -> int:
+        """Delete every stored snapshot; returns the number removed."""
+        _BLOB_MEMO.clear()
+        return clear_dir(self.root, "*/*.ckpt")

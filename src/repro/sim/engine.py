@@ -15,61 +15,65 @@ tuples.  This module is the single entry point that executes such sweeps:
   ``run_batch(..., no_cache=True)``).  Writes are atomic; a corrupted cache
   file is treated as a miss, never a crash.
 * :class:`RunEvent` / :class:`BatchStats` — per-run progress and timing
-  callbacks (runs completed, cache hits, wall-clock per run) surfaced by
-  the CLI.
+  callbacks (runs completed, cache hits, warmup reuse, wall-clock per run)
+  surfaced by the CLI.
+
+Two sweep-level reuse layers sit below the result cache (both disabled by
+``REPRO_NO_CHECKPOINT=1``, both byte-identical to the from-scratch path):
+
+* the **program store** (:mod:`repro.workloads.store`) — each distinct
+  (workload, seed) program is synthesized once per batch in the parent and
+  hydrated by workers from ``<cache_root>/programs/``;
+* **functional-warmup checkpointing** (:mod:`repro.sim.checkpoint`) —
+  specs are grouped by :func:`~repro.sim.checkpoint.checkpoint_key` (the
+  program digest, the seed, and the warmup-affecting config subset, so an
+  FTQ-depth sweep shares one key); the first run of a group captures the
+  warmed state and every other run restores it instead of re-walking the
+  warmup.  On the pool path one *leader* per missing key runs first and its
+  *followers* are submitted as soon as the leader's checkpoint lands.
 
 The legacy drivers in :mod:`repro.sim.runner` (``run_program``,
 ``run_workload``, ``run_suite``, ``sweep_ftq_depths``) are thin wrappers
-that build specs and submit them here.
+that build specs and submit them here, so they inherit all three layers.
 
-Cache keys cover the full configuration dataclass (which includes the
-instruction count), the profile name, the seed, and a fingerprint of the
-installed package source, so editing any simulator module invalidates stale
-entries automatically.
+Result-cache keys cover the full configuration dataclass (which includes
+the instruction count), the profile name, the seed, and a fingerprint of
+the installed package source, so editing any simulator module invalidates
+stale entries automatically.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
-import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.common.artifacts import (
+    CACHE_DIR_ENV,
+    cache_root,
+    canonical_key,
+    package_fingerprint,
+)
 from repro.common.config import SimConfig
+from repro.sim import checkpoint as ckpt
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import Simulator
+from repro.workloads import store as program_store
 from repro.workloads.profiles import WorkloadProfile, get_profile
 from repro.workloads.program import Program
-from repro.workloads.synth import synthesize
+from repro.workloads.store import ProgramStore, get_program, program_for  # noqa: F401
 
 JOBS_ENV = "REPRO_JOBS"
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 
 _CACHE_SCHEMA = 1
 
-
-# ---------------------------------------------------------------------------
-# Program synthesis cache (shared with runner.program_for)
-# ---------------------------------------------------------------------------
-
-
-@lru_cache(maxsize=32)
-def _cached_program(profile_name: str, seed: int) -> Program:
-    return synthesize(get_profile(profile_name), seed)
-
-
-def program_for(profile: WorkloadProfile | str, seed: int = 1) -> Program:
-    """The (cached) synthetic program for a profile."""
-    name = profile if isinstance(profile, str) else profile.name
-    return _cached_program(name, seed)
+_RESULT_CLASSES = ("results", "programs", "checkpoints")
 
 
 # ---------------------------------------------------------------------------
@@ -119,14 +123,38 @@ def spec_for(
 # ---------------------------------------------------------------------------
 
 
-def _execute(spec: RunSpec) -> tuple[SimResult, float]:
-    """Simulate one spec; returns (result, wall-clock seconds)."""
+def _checkpoint_key_for(spec: RunSpec) -> str | None:
+    """The warmup checkpoint key of a spec, or ``None`` when not keyable.
+
+    Explicit-program specs have no content digest, a zero-block warmup has
+    no state worth caching, and ``REPRO_NO_CHECKPOINT`` disables the layer.
+    """
+    if (
+        not spec.cacheable
+        or spec.config.functional_warmup_blocks <= 0
+        or not ckpt.checkpointing_enabled()
+    ):
+        return None
+    program_key = ProgramStore().key_for(spec.workload, spec.seed)
+    return ckpt.checkpoint_key(program_key, spec.seed, spec.config)
+
+
+def _execute(spec: RunSpec) -> tuple[SimResult, float, dict]:
+    """Simulate one spec; returns (result, wall seconds, execution metadata).
+
+    The metadata dict reports where the pre-measurement work came from:
+    ``program_source`` is ``"memo"``/``"disk"``/``"built"``/``"inline"``,
+    ``checkpoint`` is ``"restored"``/``"created"``/``"off"``/``"none"``, and
+    ``warmup_seconds`` is the wall-clock spent restoring or re-creating the
+    functional warmup (contained in the total ``seconds``).
+    """
     started = time.perf_counter()
+    meta = {"program_source": "inline", "checkpoint": "none", "warmup_seconds": 0.0}
     if spec.program is not None:
         simulator = Simulator(spec.program, spec.config)
     else:
         prof = get_profile(spec.workload)
-        program = program_for(spec.workload, spec.seed)
+        program, meta["program_source"] = get_program(spec.workload, spec.seed)
         config = spec.config
         # Profiles may pin workload-intrinsic core parameters (a property of
         # the code, not of the technique under test); apply them on top of the
@@ -137,6 +165,32 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float]:
             )
             config = config.replace(core=core)
         simulator = Simulator(program, config, data_profile=prof.data)
+        if not ckpt.checkpointing_enabled():
+            meta["checkpoint"] = "off"
+        else:
+            key = _checkpoint_key_for(spec)
+            if key is not None:
+                warmup_started = time.perf_counter()
+                store = ckpt.CheckpointStore()
+                blob = store.get(key)
+                if blob is not None:
+                    try:
+                        ckpt.restore_warmup(simulator, blob)
+                        meta["checkpoint"] = "restored"
+                    except ckpt.CheckpointError:
+                        # Corrupt/stale snapshot: rebuild from scratch on a
+                        # pristine simulator and overwrite the bad entry.
+                        blob = None
+                        simulator = Simulator(
+                            program, config, data_profile=prof.data
+                        )
+                if blob is None:
+                    simulator.functional_warmup(
+                        spec.config.functional_warmup_blocks
+                    )
+                    store.put(key, ckpt.capture_warmup(simulator))
+                    meta["checkpoint"] = "created"
+                meta["warmup_seconds"] = time.perf_counter() - warmup_started
     simulator.run()
     result = SimResult(
         workload=spec.workload,
@@ -145,7 +199,7 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float]:
         avg_ftq_occupancy=simulator.ftq.average_occupancy,
         final_ftq_depth=simulator.ftq.depth,
     )
-    return result, time.perf_counter() - started
+    return result, time.perf_counter() - started, meta
 
 
 # ---------------------------------------------------------------------------
@@ -153,46 +207,21 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float]:
 # ---------------------------------------------------------------------------
 
 
-@lru_cache(maxsize=1)
-def package_fingerprint() -> str:
-    """Hash of every ``repro`` source file plus the package version.
-
-    Included in each cache key so that editing any simulator module (or
-    bumping the version) invalidates every stale entry without a manual
-    ``repro cache clear``.
-    """
-    digest = hashlib.sha256()
-    root = Path(__file__).resolve().parents[1]
-    for path in sorted(root.rglob("*.py")):
-        digest.update(str(path.relative_to(root)).encode())
-        try:
-            digest.update(path.read_bytes())
-        except OSError:  # pragma: no cover - racing file removal
-            continue
-    try:
-        from repro import __version__
-
-        digest.update(__version__.encode())
-    except Exception:  # pragma: no cover - partial install
-        pass
-    return digest.hexdigest()[:16]
-
-
 @dataclass(frozen=True)
 class CacheInfo:
-    """Summary of the on-disk cache (``repro cache info``)."""
+    """Summary of the on-disk artifact store (``repro cache info``).
+
+    ``entries``/``size_bytes`` count cached *results* (the original artifact
+    class); programs and checkpoints are reported separately.
+    """
 
     root: str
     entries: int
     size_bytes: int
-
-
-def cache_root() -> Path:
-    """The active cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
-    override = os.environ.get(CACHE_DIR_ENV, "").strip()
-    if override:
-        return Path(override)
-    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+    programs: int = 0
+    program_bytes: int = 0
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
 
 
 class ResultCache:
@@ -204,6 +233,10 @@ class ResultCache:
     ``to_dict()`` form.  ``put`` writes atomically (temp file + ``os.replace``)
     and swallows filesystem errors; ``get`` treats any unreadable or
     malformed file as a miss.
+
+    The same root also shelters the other artifact classes (``programs/``
+    and ``checkpoints/`` subtrees); :meth:`info` and :meth:`clear` can
+    report and purge them per class.
     """
 
     def __init__(self, root: str | Path | None = None):
@@ -212,16 +245,16 @@ class ResultCache:
     # -- keys ----------------------------------------------------------------
 
     def key_for(self, spec: RunSpec) -> str:
-        payload = {
-            "schema": _CACHE_SCHEMA,
-            "fingerprint": package_fingerprint(),
-            "workload": spec.workload,
-            "seed": spec.seed,
-            "instructions": spec.config.max_instructions,
-            "config": dataclasses.asdict(spec.config),
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        return canonical_key(
+            {
+                "schema": _CACHE_SCHEMA,
+                "fingerprint": package_fingerprint(),
+                "workload": spec.workload,
+                "seed": spec.seed,
+                "instructions": spec.config.max_instructions,
+                "config": dataclasses.asdict(spec.config),
+            }
+        )
 
     def path_for(self, spec: RunSpec) -> Path:
         key = self.key_for(spec)
@@ -251,23 +284,12 @@ class ResultCache:
         """Atomically persist ``result``; filesystem errors are non-fatal."""
         if not spec.cacheable:
             return
-        path = self.path_for(spec)
+        from repro.common.artifacts import atomic_write_bytes
+
         payload = {"schema": _CACHE_SCHEMA, "result": result.to_dict()}
-        tmp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=path.stem, suffix=".tmp"
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except OSError:
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
+        atomic_write_bytes(
+            self.path_for(spec), json.dumps(payload).encode("utf-8")
+        )
 
     # -- maintenance ---------------------------------------------------------
 
@@ -275,6 +297,12 @@ class ResultCache:
         if not self.root.is_dir():
             return []
         return self.root.glob("*/*.json")
+
+    def _program_store(self) -> ProgramStore:
+        return ProgramStore(self.root / "programs")
+
+    def _checkpoint_store(self) -> ckpt.CheckpointStore:
+        return ckpt.CheckpointStore(self.root / "checkpoints")
 
     def info(self) -> CacheInfo:
         entries = 0
@@ -285,17 +313,40 @@ class ResultCache:
                 entries += 1
             except OSError:
                 continue
-        return CacheInfo(root=str(self.root), entries=entries, size_bytes=size)
+        programs, program_bytes = self._program_store().stats()
+        checkpoints, checkpoint_bytes = self._checkpoint_store().stats()
+        return CacheInfo(
+            root=str(self.root),
+            entries=entries,
+            size_bytes=size,
+            programs=programs,
+            program_bytes=program_bytes,
+            checkpoints=checkpoints,
+            checkpoint_bytes=checkpoint_bytes,
+        )
 
-    def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+    def clear(self, classes: Iterable[str] | None = None) -> int:
+        """Delete cached artifacts; returns the number of files removed.
+
+        ``classes`` selects among ``"results"``, ``"programs"``, and
+        ``"checkpoints"`` (default: results only, the historical behaviour).
+        """
+        selected = tuple(classes) if classes is not None else ("results",)
+        unknown = set(selected) - set(_RESULT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown cache classes: {sorted(unknown)}")
         removed = 0
-        for path in list(self._entry_paths()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                continue
+        if "results" in selected:
+            for path in list(self._entry_paths()):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        if "programs" in selected:
+            removed += self._program_store().clear()
+        if "checkpoints" in selected:
+            removed += self._checkpoint_store().clear()
         return removed
 
 
@@ -324,6 +375,10 @@ class RunEvent:
     seconds: float  # wall-clock for this run (lookup time on a hit)
     completed: int  # runs finished so far in this batch
     total: int
+    # Pre-measurement reuse (defaults describe a cache hit / legacy event):
+    checkpoint: str = "none"  # "restored" | "created" | "off" | "none"
+    program_source: str = "inline"  # "memo" | "disk" | "built" | "inline"
+    warmup_seconds: float = 0.0  # restoring or re-creating the warmup
 
 
 ProgressCallback = Callable[[RunEvent], None]
@@ -347,6 +402,9 @@ class BatchStats:
 
     ``simulated`` counts actual simulator invocations — a warm-cache rerun
     of a batch finishes with ``simulated == 0`` and ``cache_hits == runs``.
+    ``checkpoint_restores``/``checkpoint_creates`` count warmup reuse among
+    the simulated runs, and ``warmup_seconds`` is the wall-clock those runs
+    spent inside the warmup phase (restored or re-created).
     """
 
     def __init__(self) -> None:
@@ -354,6 +412,9 @@ class BatchStats:
         self.cache_hits = 0
         self.simulated = 0
         self.sim_seconds = 0.0
+        self.checkpoint_restores = 0
+        self.checkpoint_creates = 0
+        self.warmup_seconds = 0.0
 
     def __call__(self, event: RunEvent) -> None:
         self.runs += 1
@@ -362,12 +423,23 @@ class BatchStats:
         else:
             self.simulated += 1
             self.sim_seconds += event.seconds
+            self.warmup_seconds += event.warmup_seconds
+            if event.checkpoint == "restored":
+                self.checkpoint_restores += 1
+            elif event.checkpoint == "created":
+                self.checkpoint_creates += 1
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.runs} runs: {self.simulated} simulated "
             f"({self.sim_seconds:.2f}s), {self.cache_hits} cache hits"
         )
+        if self.checkpoint_restores or self.checkpoint_creates:
+            text += (
+                f", {self.checkpoint_restores} warmups restored "
+                f"({self.checkpoint_creates} created)"
+            )
+        return text
 
 
 # ---------------------------------------------------------------------------
@@ -399,9 +471,14 @@ def run_batch(
 ) -> list[SimResult]:
     """Execute a batch of :class:`RunSpec` and return results in spec order.
 
-    Cache hits are resolved first (in spec order); the remaining specs fan
+    Cache hits are resolved first (in spec order).  The remaining specs fan
     out over a process pool when more than one worker is available and more
-    than one run is pending, otherwise they execute in-process.  Completion
+    than one run is pending, otherwise they execute in-process.  Before the
+    pool spawns, each distinct (workload, seed) program is materialized once
+    in this process, and pending specs are grouped by warmup checkpoint key:
+    one leader per group whose checkpoint is not yet on disk runs first, and
+    its followers are submitted the moment the leader finishes (their
+    restore then hits the leader's freshly written snapshot).  Completion
     order never affects the returned order.
     """
     spec_list = list(specs)
@@ -440,7 +517,7 @@ def run_batch(
                 )
             )
 
-    def finish(index: int, result: SimResult, seconds: float) -> None:
+    def finish(index: int, result: SimResult, seconds: float, meta: dict) -> None:
         nonlocal completed
         if active_cache is not None:
             active_cache.put(spec_list[index], result)
@@ -456,21 +533,63 @@ def run_batch(
                     seconds=seconds,
                     completed=completed,
                     total=total,
+                    checkpoint=meta.get("checkpoint", "none"),
+                    program_source=meta.get("program_source", "inline"),
+                    warmup_seconds=meta.get("warmup_seconds", 0.0),
                 )
             )
 
+    if pending and ckpt.checkpointing_enabled():
+        # Build every distinct program once in the parent: forked workers
+        # inherit the memo, spawned ones hydrate the on-disk pickle.
+        for workload, seed in sorted(
+            {
+                (spec_list[i].workload, spec_list[i].seed)
+                for i in pending
+                if spec_list[i].cacheable
+            }
+        ):
+            program_store.materialize(workload, seed)
+
     workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
     if workers <= 1:
+        # Serial path needs no scheduling: the first spec of each checkpoint
+        # group creates the snapshot, later ones restore it via _execute.
         for index in pending:
-            result, seconds = _execute(spec_list[index])
-            finish(index, result, seconds)
+            result, seconds, meta = _execute(spec_list[index])
+            finish(index, result, seconds, meta)
     else:
+        # Group pending specs by checkpoint key so a missing checkpoint is
+        # created exactly once instead of racing in every worker.
+        keys = {index: _checkpoint_key_for(spec_list[index]) for index in pending}
+        store = ckpt.CheckpointStore()
+        leaders: list[int] = []
+        followers_by_key: dict[str, list[int]] = {}
+        claimed: set[str] = set()
+        for index in pending:
+            key = keys[index]
+            if key is None or store.exists(key):
+                leaders.append(index)
+            elif key in claimed:
+                followers_by_key.setdefault(key, []).append(index)
+            else:
+                claimed.add(key)
+                leaders.append(index)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute, spec_list[index]): index for index in pending
+            waiting = {
+                pool.submit(_execute, spec_list[index]): index for index in leaders
             }
-            for future in as_completed(futures):
-                result, seconds = future.result()
-                finish(futures[future], result, seconds)
+            while waiting:
+                done, _ = wait(waiting, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = waiting.pop(future)
+                    result, seconds, meta = future.result()
+                    finish(index, result, seconds, meta)
+                    key = keys[index]
+                    if key is not None:
+                        for follower in followers_by_key.pop(key, ()):
+                            waiting[
+                                pool.submit(_execute, spec_list[follower])
+                            ] = follower
 
     return results  # type: ignore[return-value]

@@ -5,9 +5,13 @@
     historically called.  They are now thin wrappers that build
     :class:`~repro.sim.engine.RunSpec` batches and submit them through
     :func:`~repro.sim.engine.run_batch`, which adds process-pool parallelism
-    (``REPRO_JOBS``) and the on-disk result cache (``REPRO_CACHE_DIR`` /
-    ``REPRO_NO_CACHE``).  New code should build specs and call ``run_batch``
-    directly.
+    (``REPRO_JOBS``), the on-disk result cache (``REPRO_CACHE_DIR`` /
+    ``REPRO_NO_CACHE``), the shared program store, and functional-warmup
+    checkpointing (``REPRO_NO_CHECKPOINT``).  There is deliberately no
+    second execution path here: every wrapper forwards through the same
+    checkpoint-aware engine, so a sweep driven via these helpers reuses
+    warmups exactly like one built from explicit specs.  New code should
+    build specs and call ``run_batch`` directly.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ def run_program(
 
     .. deprecated:: prefer ``run_batch([RunSpec(..., program=...)])``.
         Explicit-program runs are not content-addressable, so they never hit
-        the disk cache.
+        the disk cache, the program store, or a warmup checkpoint.
     """
     spec = RunSpec(
         workload=workload_name,

@@ -1,0 +1,121 @@
+"""Warmup checkpoint key derivation: exactly the warmup-affecting subset.
+
+The whole point of functional-warmup checkpointing is that an FTQ-depth
+sweep (or any sweep over measured-region-only knobs) shares ONE checkpoint.
+These tests pin the key derivation from both sides:
+
+* knobs that cannot influence warmed state (FTQ depth, perfect-icache,
+  instruction budget, UFTQ mode, prefetcher selection, core widths) must
+  NOT change the key;
+* knobs that do shape warmed state (warmup length, icache/L2 geometry,
+  BTB capacity, history lengths, UDP sizing) MUST change it.
+"""
+
+import dataclasses
+
+from repro.common.config import PrefetcherConfig, SimConfig, UFTQConfig
+from repro.sim.checkpoint import (
+    WARMUP_CONFIG_FIELDS,
+    checkpoint_key,
+    warmup_config_subset,
+)
+
+PROGRAM_KEY = "a" * 64
+
+
+def _key(config: SimConfig, seed: int = 1, program_key: str = PROGRAM_KEY) -> str:
+    return checkpoint_key(program_key, seed, config)
+
+
+def base() -> SimConfig:
+    return SimConfig(max_instructions=10_000, seed=1)
+
+
+# ---------------------------------------------------------------------------
+# Measured-region knobs must share a checkpoint
+# ---------------------------------------------------------------------------
+
+
+def test_ftq_depth_does_not_change_key():
+    keys = {_key(base().with_ftq_depth(depth)) for depth in (8, 16, 32, 64, 96)}
+    assert len(keys) == 1
+
+
+def test_perfect_icache_does_not_change_key():
+    assert _key(base()) == _key(base().with_perfect_icache())
+
+
+def test_instruction_budget_does_not_change_key():
+    assert _key(base()) == _key(base().replace(max_instructions=99_999))
+
+
+def test_uftq_mode_does_not_change_key():
+    assert _key(base()) == _key(base().replace(uftq=UFTQConfig(mode="atr-aur")))
+
+
+def test_prefetcher_kind_does_not_change_key():
+    assert _key(base()) == _key(
+        base().replace(prefetcher=PrefetcherConfig(kind="none"))
+    )
+
+
+def test_core_width_does_not_change_key():
+    wide = base().replace(
+        core=dataclasses.replace(base().core, rob_entries=base().core.rob_entries * 2)
+    )
+    assert _key(base()) == _key(wide)
+
+
+# ---------------------------------------------------------------------------
+# Warmup-affecting knobs must NOT share a checkpoint
+# ---------------------------------------------------------------------------
+
+
+def test_warmup_length_changes_key():
+    shorter = base().replace(
+        functional_warmup_blocks=base().functional_warmup_blocks // 2
+    )
+    assert _key(base()) != _key(shorter)
+
+
+def test_l1i_geometry_changes_key():
+    grown = base().with_l1i_size(base().memory.l1i.size_bytes * 2)
+    assert _key(base()) != _key(grown)
+
+
+def test_btb_capacity_changes_key():
+    assert _key(base()) != _key(base().with_btb_entries(2048))
+
+
+def test_udp_enablement_changes_key():
+    udp_on = base().replace(udp=dataclasses.replace(base().udp, enabled=True))
+    assert _key(base()) != _key(udp_on)
+
+
+# ---------------------------------------------------------------------------
+# Identity inputs
+# ---------------------------------------------------------------------------
+
+
+def test_seed_changes_key():
+    assert _key(base(), seed=1) != _key(base(), seed=2)
+
+
+def test_program_digest_changes_key():
+    assert _key(base(), program_key="b" * 64) != _key(base())
+
+
+# ---------------------------------------------------------------------------
+# The subset itself
+# ---------------------------------------------------------------------------
+
+
+def test_subset_covers_exactly_the_documented_fields():
+    subset = warmup_config_subset(base())
+    assert sorted(subset) == sorted(WARMUP_CONFIG_FIELDS)
+
+
+def test_subset_is_json_canonicalizable():
+    import json
+
+    json.dumps(warmup_config_subset(base()), sort_keys=True)

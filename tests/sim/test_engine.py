@@ -27,6 +27,7 @@ def _engine_env(monkeypatch, tmp_path):
     monkeypatch.setenv(engine.JOBS_ENV, "2")
     monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "cache"))
     monkeypatch.delenv(engine.NO_CACHE_ENV, raising=False)
+    monkeypatch.delenv("REPRO_NO_CHECKPOINT", raising=False)
 
 
 def _specs():
@@ -172,3 +173,93 @@ def test_default_progress_hook(tmp_path):
         engine.set_default_progress(previous)
     assert stats.runs == 1 and stats.simulated == 1
     assert "1 simulated" in stats.summary()
+
+
+# ---------------------------------------------------------------------------
+# Warmup checkpointing + program store (the sweep-reuse layers)
+# ---------------------------------------------------------------------------
+
+
+def test_serial_batch_creates_one_checkpoint_per_key():
+    # _specs() spans two checkpoint keys: (mediawiki, seed 1) twice at
+    # different FTQ depths (shared warmup), and (mediawiki, seed 2) once.
+    stats = BatchStats()
+    run_batch(_specs(), jobs=1, no_cache=True, progress=stats)
+    assert stats.checkpoint_creates == 2
+    assert stats.checkpoint_restores == 1
+    rerun = BatchStats()
+    run_batch(_specs(), jobs=1, no_cache=True, progress=rerun)
+    assert rerun.checkpoint_creates == 0
+    assert rerun.checkpoint_restores == 3
+    assert "3 warmups restored" in rerun.summary()
+
+
+def test_pooled_cold_batch_creates_one_checkpoint_per_key():
+    stats = BatchStats()
+    pooled = run_batch(_specs(), jobs=2, no_cache=True, progress=stats)
+    assert stats.checkpoint_creates == 2
+    assert stats.checkpoint_restores == 1
+    serial = run_batch(_specs(), jobs=1, no_cache=True)
+    assert _serialized(pooled) == _serialized(serial)
+
+
+def test_checkpointed_batch_matches_no_checkpoint_batch(monkeypatch):
+    checkpointed = run_batch(_specs(), jobs=1, no_cache=True)
+    monkeypatch.setenv("REPRO_NO_CHECKPOINT", "1")
+    stats = BatchStats()
+    scratch = run_batch(_specs(), jobs=1, no_cache=True, progress=stats)
+    assert stats.checkpoint_creates == 0 and stats.checkpoint_restores == 0
+    assert _serialized(checkpointed) == _serialized(scratch)
+
+
+def test_corrupt_checkpoint_file_falls_back_to_scratch():
+    from repro.sim import checkpoint as ckpt
+
+    spec = _specs()[0]
+    reference = run_batch([spec], jobs=1, no_cache=True)
+    key = engine._checkpoint_key_for(spec)
+    store = ckpt.CheckpointStore()
+    assert store.exists(key)
+    store.path_for(key).write_bytes(b"corrupt snapshot")
+    ckpt._BLOB_MEMO.clear()
+    stats = BatchStats()
+    rerun = run_batch([spec], jobs=1, no_cache=True, progress=stats)
+    assert stats.checkpoint_creates == 1  # rebuilt and re-persisted
+    assert _serialized(reference) == _serialized(rerun)
+    ckpt._BLOB_MEMO.clear()
+    assert store.get(key) != b"corrupt snapshot"
+
+
+def test_progress_events_carry_reuse_metadata():
+    events = []
+    run_batch(_specs(), jobs=1, no_cache=True, progress=events.append)
+    assert {e.checkpoint for e in events} == {"created", "restored"}
+    assert all(
+        e.program_source in ("memo", "disk", "built") for e in events
+    )
+    restored = [e for e in events if e.checkpoint == "restored"]
+    assert all(e.warmup_seconds >= 0 for e in restored)
+
+
+def test_cache_info_reports_per_class(tmp_path, monkeypatch):
+    monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "classes"))
+    cache = ResultCache()
+    run_batch(_specs()[:2], cache=cache)
+    info = cache.info()
+    assert info.entries == 2 and info.size_bytes > 0
+    assert info.programs == 1 and info.program_bytes > 0
+    assert info.checkpoints == 1 and info.checkpoint_bytes > 0
+
+
+def test_cache_clear_accepts_class_filter(tmp_path, monkeypatch):
+    monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "classes"))
+    cache = ResultCache()
+    run_batch(_specs()[:2], cache=cache)
+    assert cache.clear(("checkpoints",)) == 1
+    info = cache.info()
+    assert info.checkpoints == 0 and info.entries == 2 and info.programs == 1
+    assert cache.clear(("results", "programs", "checkpoints")) == 3
+    after = cache.info()
+    assert (after.entries, after.programs, after.checkpoints) == (0, 0, 0)
+    with pytest.raises(ValueError):
+        cache.clear(("everything",))

@@ -8,10 +8,14 @@ the fixture the tripwire for "performance work must not change results"
 (the fast-forward equivalence tests check FF-vs-naive; this one checks
 today-vs-the-day-the-fixture-was-blessed).
 
-Intentional behaviour changes must regenerate the fixture and review the
-diff::
+Intentional behaviour changes must regenerate the fixture via the CLI and
+review the diff (see docs/performance.md for the blessing workflow)::
 
-    PYTHONPATH=src python tests/sim/test_golden_counters.py
+    PYTHONPATH=src python -m repro bless-golden
+
+The run parameters and the generator live in :mod:`repro.sim.golden`, so
+the test and the blessing command can never disagree about what a golden
+run is.
 """
 
 import json
@@ -19,22 +23,12 @@ import os
 
 import pytest
 
+from repro.sim import golden
 from repro.sim.presets import PRESET_BUILDERS
-from repro.sim.profile import build_simulator
 
-WORKLOAD = "gcc"
-INSTRUCTIONS = 3_000
-SEED = 1
 FIXTURE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "fixtures", "golden_counters.json"
 )
-
-
-def _run_preset(preset: str) -> dict[str, int]:
-    config = PRESET_BUILDERS[preset](INSTRUCTIONS, SEED)
-    simulator = build_simulator(WORKLOAD, config, SEED)
-    simulator.run()
-    return simulator.measured_counters()
 
 
 def _load_fixture() -> dict:
@@ -43,37 +37,36 @@ def _load_fixture() -> dict:
 
 
 def test_fixture_covers_every_preset():
-    golden = _load_fixture()["counters"]
-    assert sorted(golden) == sorted(PRESET_BUILDERS), (
+    golden_data = _load_fixture()["counters"]
+    assert sorted(golden_data) == sorted(PRESET_BUILDERS), (
         "preset list changed: regenerate the fixture "
-        "(PYTHONPATH=src python tests/sim/test_golden_counters.py)"
+        "(PYTHONPATH=src python -m repro bless-golden)"
     )
+
+
+def test_module_and_fixture_parameters_agree():
+    data = _load_fixture()
+    assert data["workload"] == golden.WORKLOAD
+    assert data["instructions"] == golden.INSTRUCTIONS
+    assert data["seed"] == golden.SEED
+
+
+def test_blessed_path_is_this_fixture():
+    assert os.path.samefile(os.path.dirname(FIXTURE),
+                            golden.FIXTURE_PATH.parent)
+    assert golden.FIXTURE_PATH.name == os.path.basename(FIXTURE)
 
 
 @pytest.mark.parametrize("preset", sorted(PRESET_BUILDERS))
 def test_counters_match_golden(preset):
-    golden = _load_fixture()["counters"][preset]
-    current = _run_preset(preset)
-    assert current == golden, (
+    expected = _load_fixture()["counters"][preset]
+    current = golden.golden_counters(preset)
+    assert current == expected, (
         f"{preset}: measured counters diverged from the blessed fixture; "
-        "if intentional, regenerate and review the diff"
+        "if intentional, regenerate with `python -m repro bless-golden` "
+        "and review the diff"
     )
 
 
-def _regenerate() -> None:
-    payload = {
-        "workload": WORKLOAD,
-        "instructions": INSTRUCTIONS,
-        "seed": SEED,
-        "counters": {
-            preset: _run_preset(preset) for preset in sorted(PRESET_BUILDERS)
-        },
-    }
-    with open(FIXTURE, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {FIXTURE}")
-
-
 if __name__ == "__main__":
-    _regenerate()
+    print(f"wrote {golden.bless(FIXTURE)}")
