@@ -1,4 +1,4 @@
-"""Multi-seed robustness statistics.
+"""Multi-seed robustness and interval-sampling error statistics.
 
 The paper averages 10 SimPoints per application; our equivalent of
 sampling variance is the synthesis/data seed.  ``multi_seed_speedup``
@@ -6,14 +6,24 @@ repeats a baseline/technique comparison across seeds and reports the mean
 speedup with a normal-approximation confidence interval, so reproduction
 claims can be checked for seed-robustness rather than read off a single
 run.
+
+For interval-sampled runs (``SimConfig.sampling``), ``ipc_sampling_error``
+quantifies the accuracy cost: the relative IPC deviation of a sampled
+result against its full-fidelity reference, to be read next to the
+sampled result's own CI estimate (``result.sampling["ipc_relative_ci95"]``).
+
+The mean/stdev/CI arithmetic lives in :mod:`repro.common.stats` so the
+simulation layer (which this module sits above) can share it without an
+import cycle.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.common.config import SimConfig
+from repro.common.stats import ci95_half_width, mean, stdev
+from repro.sim.metrics import SimResult
 from repro.sim.runner import run_workload
 
 
@@ -26,21 +36,16 @@ class SpeedupStats:
 
     @property
     def mean(self) -> float:
-        return sum(self.ratios) / len(self.ratios)
+        return mean(self.ratios)
 
     @property
     def stdev(self) -> float:
-        if len(self.ratios) < 2:
-            return 0.0
-        mu = self.mean
-        return math.sqrt(
-            sum((r - mu) ** 2 for r in self.ratios) / (len(self.ratios) - 1)
-        )
+        return stdev(self.ratios)
 
     @property
     def ci95(self) -> tuple[float, float]:
         """Normal-approximation 95% confidence interval on the mean."""
-        half = 1.96 * self.stdev / math.sqrt(len(self.ratios))
+        half = ci95_half_width(self.ratios)
         return self.mean - half, self.mean + half
 
     @property
@@ -73,3 +78,16 @@ def multi_seed_speedup(
         )
         ratios.append(test.ipc / base.ipc if base.ipc else 1.0)
     return SpeedupStats(workload, ratios)
+
+
+def ipc_sampling_error(sampled: SimResult, reference: SimResult) -> float:
+    """Relative IPC error of a sampled run against a full-fidelity reference.
+
+    ``|sampled.ipc - reference.ipc| / reference.ipc`` — the empirical
+    accuracy of the interval sample, as opposed to the CI the sample
+    estimates about itself (``sampled.sampling["ipc_relative_ci95"]``).
+    Returns 0.0 when the reference IPC is zero.
+    """
+    if reference.ipc == 0:
+        return 0.0
+    return abs(sampled.ipc - reference.ipc) / reference.ipc

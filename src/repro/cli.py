@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro list-workloads
     python -m repro run -w xgboost -c udp -n 20000
+    python -m repro run -w gcc -c baseline -n 100000 --sample 10
     python -m repro compare -w xgboost,gcc -c baseline,udp,perfect-icache
     python -m repro figure fig3 -w mysql,verilator -n 15000 --jobs 4 --progress
     python -m repro profile -w verilator -c miss-heavy -n 50000
@@ -28,7 +29,7 @@ import sys
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.sim import engine
-from repro.sim.presets import PRESET_BUILDERS
+from repro.sim.presets import PRESET_BUILDERS, apply_sampling
 from repro.sim.runner import program_for, run_workload
 from repro.workloads.profiles import SUITE
 from repro.workloads.tracefile import record_trace
@@ -57,6 +58,47 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample", type=int, default=0, metavar="K",
+        help="interval-sample the measured region over K systematic intervals "
+             "(default: full-fidelity simulation)",
+    )
+    parser.add_argument(
+        "--sample-length", type=int, default=None, metavar="N",
+        help="measured instructions per interval (default: 10%% of the period)",
+    )
+    parser.add_argument(
+        "--sample-warmup", type=int, default=None, metavar="N",
+        help="detailed but unmeasured warmup instructions before each "
+             "interval (default: half the interval length)",
+    )
+
+
+def _apply_sampling_args(config, args):
+    """Overlay the ``--sample*`` flags onto a preset config."""
+    if not getattr(args, "sample", 0):
+        return config
+    return apply_sampling(
+        config, args.sample, args.sample_length, args.sample_warmup
+    )
+
+
+def _sampling_summary(result) -> str | None:
+    """One stderr-ready line describing a sampled result's error estimate."""
+    block = result.sampling
+    if not block:
+        return None
+    return (
+        f"sampled: {block['num_intervals']} intervals x "
+        f"{block['interval_length']} instructions "
+        f"(+{block['detailed_warmup']} detailed warmup), "
+        f"IPC {block['ipc_mean']:.4f} +/- {block['ipc_ci95_half']:.4f} "
+        f"({block['ipc_relative_ci95']:.1%} rel. CI95), "
+        f"{block['ff_instructions_total']} instructions fast-forwarded"
+    )
+
+
 def _install_engine_options(args) -> engine.BatchStats:
     """Apply --jobs/--no-cache and install the progress callback.
 
@@ -81,6 +123,8 @@ def _install_engine_options(args) -> engine.BatchStats:
                     source += f", warmup restored in {event.warmup_seconds:.2f}s"
                 elif event.checkpoint == "created":
                     source += f", warmup checkpointed ({event.warmup_seconds:.2f}s)"
+                if event.intervals:
+                    source += f", {event.intervals} intervals"
             print(
                 f"[{event.completed}/{event.total}] "
                 f"{event.spec.workload}/{event.spec.label} ({source})",
@@ -113,12 +157,17 @@ def cmd_list_configs(_args) -> int:
 
 def cmd_run(args) -> int:
     stats = _install_engine_options(args)
-    config = PRESET_BUILDERS[args.config](args.instructions)
+    config = _apply_sampling_args(
+        PRESET_BUILDERS[args.config](args.instructions), args
+    )
     result = run_workload(args.workload, config, args.config, seed=args.seed)
     summary = result.summary()
     rows = [[key, f"{value:.4f}"] for key, value in summary.items()]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.workload} / {args.config}"))
+    sampled = _sampling_summary(result)
+    if sampled:
+        print(sampled)
     if args.counters:
         for name, value in sorted(result.counters.items()):
             print(f"{name} = {value}")
@@ -132,7 +181,10 @@ def cmd_compare(args) -> int:
     configs = _parse_workloads(args.configs) or ["baseline", "udp"]
     specs = [
         engine.spec_for(
-            workload, PRESET_BUILDERS[config_name](args.instructions),
+            workload,
+            _apply_sampling_args(
+                PRESET_BUILDERS[config_name](args.instructions), args
+            ),
             args.seed, config_name,
         )
         for workload in workloads
@@ -267,6 +319,46 @@ def cmd_report(args) -> int:
     return 0
 
 
+_CACHE_CLASSES = ("results", "programs", "checkpoints")
+
+
+def _human_size(num_bytes: int) -> str:
+    """``2048`` -> ``"2.0 KiB"``; keeps bytes below 1 KiB as-is."""
+    size = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _parse_cache_classes(value: str) -> tuple[str, ...]:
+    """Validate a comma-separated ``--class`` value (``all`` = every class).
+
+    Raises ``ValueError`` naming both the offender and the accepted names,
+    so a typo like ``checkpoint`` gets a correction, not a stack trace.
+    """
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    if not names:
+        raise ValueError(
+            "no cache class given; expected one of: "
+            + ", ".join(_CACHE_CLASSES + ("all",))
+        )
+    if "all" in names:
+        return _CACHE_CLASSES
+    unknown = [name for name in names if name not in _CACHE_CLASSES]
+    if unknown:
+        raise ValueError(
+            f"unknown cache class{'es' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(name) for name in unknown)}; "
+            "expected one of: " + ", ".join(_CACHE_CLASSES + ("all",))
+        )
+    # Preserve the canonical order and drop duplicates.
+    return tuple(name for name in _CACHE_CLASSES if name in names)
+
+
 def cmd_cache(args) -> int:
     cache = engine.default_cache()
     if args.action == "info":
@@ -274,20 +366,21 @@ def cmd_cache(args) -> int:
         total = info.size_bytes + info.program_bytes + info.checkpoint_bytes
         print(f"cache directory : {info.root}")
         print(f"results         : {info.entries} entries, "
-              f"{info.size_bytes / 1024:.1f} KiB")
+              f"{_human_size(info.size_bytes)} ({info.size_bytes} bytes)")
         print(f"programs        : {info.programs} entries, "
-              f"{info.program_bytes / 1024:.1f} KiB")
+              f"{_human_size(info.program_bytes)} ({info.program_bytes} bytes)")
         print(f"checkpoints     : {info.checkpoints} entries, "
-              f"{info.checkpoint_bytes / 1024:.1f} KiB")
-        print(f"total size      : {total / 1024:.1f} KiB")
+              f"{_human_size(info.checkpoint_bytes)} "
+              f"({info.checkpoint_bytes} bytes)")
+        print(f"total size      : {_human_size(total)} ({total} bytes)")
         print(f"key fingerprint : {engine.package_fingerprint()}")
         return 0
     if args.action == "clear":
-        selected = (
-            ("results", "programs", "checkpoints")
-            if args.artifact_class == "all"
-            else (args.artifact_class,)
-        )
+        try:
+            selected = _parse_cache_classes(args.artifact_class)
+        except ValueError as exc:
+            print(f"repro cache clear: {exc}", file=sys.stderr)
+            return 2
         removed = cache.clear(selected)
         print(f"removed {removed} cached artifacts "
               f"({', '.join(selected)}) from {cache.root}")
@@ -344,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--counters", action="store_true", help="dump raw counters")
     _add_engine_args(run)
+    _add_sampling_args(run)
     run.set_defaults(fn=cmd_run)
 
     compare = sub.add_parser("compare", help="IPC table across workloads x configs")
@@ -352,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-n", "--instructions", type=int, default=20_000)
     compare.add_argument("--seed", type=int, default=1)
     _add_engine_args(compare)
+    _add_sampling_args(compare)
     compare.set_defaults(fn=cmd_compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure/table")
@@ -372,8 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["info", "clear"])
     cache.add_argument(
         "--class", dest="artifact_class", default="all",
-        choices=["results", "programs", "checkpoints", "all"],
-        help="artifact class to clear (default: all)",
+        help="comma-separated artifact classes to clear: "
+             "results, programs, checkpoints, or all (default: all)",
     )
     cache.set_defaults(fn=cmd_cache)
 

@@ -241,6 +241,55 @@ class UDPConfig:
 
 
 @dataclass(frozen=True)
+class SamplingConfig:
+    """Systematic interval sampling of the measured region (SMARTS-style).
+
+    ``num_intervals == 0`` (the default) is full-fidelity simulation.  When
+    enabled, the measured region of ``max_instructions`` true-path
+    instructions is divided into ``num_intervals`` equal periods; the *end*
+    of each period holds ``detailed_warmup`` cycle-simulated (unmeasured)
+    instructions followed by ``interval_length`` measured instructions, and
+    everything before them is functionally fast-forwarded at oracle-walk
+    speed.  Anchoring measurement at the period end makes the degenerate
+    configuration — one interval spanning the whole region with no detailed
+    warmup — fast-forward zero instructions, so it is byte-identical to a
+    plain run (the sampling-equivalence oracle in tests/sim/test_sampling.py).
+    """
+
+    num_intervals: int = 0
+    interval_length: int = 0
+    detailed_warmup: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.num_intervals > 0
+
+    def period(self, max_instructions: int) -> int:
+        """Instructions per sampling period (fast-forward + warmup + measure)."""
+        return max_instructions // self.num_intervals
+
+    def validate(self, max_instructions: int) -> None:
+        if self.num_intervals < 0:
+            raise ConfigError("num_intervals must be non-negative")
+        if not self.enabled:
+            return
+        if self.interval_length <= 0:
+            raise ConfigError("sampling interval_length must be positive")
+        if self.detailed_warmup < 0:
+            raise ConfigError("sampling detailed_warmup must be non-negative")
+        if self.num_intervals > max_instructions:
+            raise ConfigError("more sampling intervals than instructions")
+        period = self.period(max_instructions)
+        if self.interval_length + self.detailed_warmup > period:
+            raise ConfigError(
+                f"interval_length + detailed_warmup "
+                f"({self.interval_length} + {self.detailed_warmup}) exceeds "
+                f"the sampling period ({period} = {max_instructions} / "
+                f"{self.num_intervals} instructions)"
+            )
+
+
+@dataclass(frozen=True)
 class PrefetcherConfig:
     """Selection of the instruction prefetching technique under test."""
 
@@ -274,6 +323,7 @@ class SimConfig:
     uftq: UFTQConfig = field(default_factory=lambda: UFTQConfig(mode="off"))
     udp: UDPConfig = field(default_factory=UDPConfig)
     prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
     max_instructions: int = 50_000
     max_cycles: int = 5_000_000
     # Timed warmup: cycle-accurate cycles excluded from measurement.
@@ -298,6 +348,12 @@ class SimConfig:
             raise ConfigError("warmup must be in [0, max_instructions)")
         if self.functional_warmup_blocks < 0:
             raise ConfigError("functional warmup must be non-negative")
+        self.sampling.validate(self.max_instructions)
+        if self.sampling.enabled and self.warmup_instructions > 0:
+            raise ConfigError(
+                "interval sampling carries its own detailed warmup; "
+                "warmup_instructions must be 0 when sampling is enabled"
+            )
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
@@ -316,6 +372,24 @@ class SimConfig:
         return self.replace(
             frontend=dataclasses.replace(self.frontend, perfect_icache=True)
         )
+
+    def with_sampling(
+        self, num_intervals: int, interval_length: int, detailed_warmup: int = 0
+    ) -> "SimConfig":
+        """Return a copy with interval sampling enabled (0 intervals = off)."""
+        return self.replace(
+            sampling=SamplingConfig(
+                num_intervals=num_intervals,
+                interval_length=interval_length,
+                detailed_warmup=detailed_warmup,
+            )
+        )
+
+    def without_sampling(self) -> "SimConfig":
+        """Return the full-fidelity equivalent of this configuration."""
+        if not self.sampling.enabled:
+            return self
+        return self.replace(sampling=SamplingConfig())
 
     def with_l1i_size(self, size_bytes: int) -> "SimConfig":
         """Return a copy with a different L1I capacity (Fig 13's 40K icache)."""

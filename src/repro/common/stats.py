@@ -1,0 +1,43 @@
+"""Small shared statistics helpers (means, spreads, confidence intervals).
+
+Used by both the sampling engine (per-interval IPC aggregation in
+:mod:`repro.sim.sampling`) and the multi-seed robustness analysis
+(:mod:`repro.analysis.stats`).  Lives under ``common`` because the sim layer
+must not import the analysis layer (which pulls in the runner/engine).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ci95_half_width", "mean", "relative_half_width", "stdev"]
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: list[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 below two observations."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def ci95_half_width(values: list[float]) -> float:
+    """Half-width of the normal-approximation 95% CI on the mean."""
+    if len(values) < 2:
+        return 0.0
+    return 1.96 * stdev(values) / math.sqrt(len(values))
+
+
+def relative_half_width(values: list[float]) -> float:
+    """The 95% CI half-width as a fraction of the mean (0.0 when mean is 0)."""
+    mu = mean(values)
+    if mu == 0.0:
+        return 0.0
+    return ci95_half_width(values) / abs(mu)

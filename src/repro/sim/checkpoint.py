@@ -76,6 +76,7 @@ __all__ = [
     "capture_warmup",
     "checkpoint_key",
     "checkpointing_enabled",
+    "interval_checkpoint_key",
     "restore_warmup",
     "warmup_config_subset",
 ]
@@ -127,6 +128,31 @@ def checkpoint_key(program_key: str, seed: int, config: SimConfig) -> str:
             "program": program_key,
             "seed": seed,
             "warmup": warmup_config_subset(config),
+        }
+    )
+
+
+def interval_checkpoint_key(
+    program_key: str, seed: int, config: SimConfig, ff_instructions: int
+) -> str:
+    """Content key of the fast-forwarded state at one sampling interval.
+
+    The state after ``Simulator.fast_forward_to(warmup_end + ff_instructions)``
+    is still purely functional (cycle 0), so it is captured and restored with
+    the same machinery as warmup checkpoints.  Only the warmup-affecting
+    config subset and the fast-forward distance enter the key — measured-
+    region knobs (FTQ depth, prefetcher, interval length, the per-interval
+    RNG seed) are excluded, so e.g. an FTQ-depth sweep of sampled runs
+    shares one chain of interval checkpoints per (program, seed).
+    """
+    return canonical_key(
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": package_fingerprint(),
+            "program": program_key,
+            "seed": seed,
+            "warmup": warmup_config_subset(config),
+            "interval_ff": ff_instructions,
         }
     )
 

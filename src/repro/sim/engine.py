@@ -32,6 +32,14 @@ Two sweep-level reuse layers sit below the result cache (both disabled by
   warmup.  On the pool path one *leader* per missing key runs first and its
   *followers* are submitted as soon as the leader's checkpoint lands.
 
+Specs whose config enables **interval sampling** (``SimConfig.sampling``,
+see :mod:`repro.sim.sampling`) are expanded into one work unit per interval:
+each interval restores the nearest available checkpoint, fast-forwards the
+rest of the way, simulates its measured slice, and the engine merges the
+per-interval counters back into a single :class:`SimResult` (with a
+``sampling`` block carrying the per-interval IPCs and their CI).  Setting
+``REPRO_NO_SAMPLING=1`` normalizes sampled specs back to full fidelity.
+
 The legacy drivers in :mod:`repro.sim.runner` (``run_program``,
 ``run_workload``, ``run_suite``, ``sweep_ftq_depths``) are thin wrappers
 that build specs and submit them here, so they inherit all three layers.
@@ -61,7 +69,9 @@ from repro.common.artifacts import (
 )
 from repro.common.config import SimConfig
 from repro.sim import checkpoint as ckpt
+from repro.sim import sampling
 from repro.sim.metrics import SimResult
+from repro.sim.sampling import IntervalOutcome, IntervalPlan
 from repro.sim.simulator import Simulator
 from repro.workloads import store as program_store
 from repro.workloads.profiles import WorkloadProfile, get_profile
@@ -139,6 +149,28 @@ def _checkpoint_key_for(spec: RunSpec) -> str | None:
     return ckpt.checkpoint_key(program_key, spec.seed, spec.config)
 
 
+def _resolve_spec(spec: RunSpec):
+    """Resolve ``(program, effective config, data profile, program source)``.
+
+    Profiles may pin workload-intrinsic core parameters (a property of the
+    code, not of the technique under test); they are applied on top of the
+    spec's config so every technique sees the same workload behaviour.  The
+    checkpoint-key helpers keep using ``spec.config`` — the overlay never
+    touches warmup- or sampling-relevant fields.
+    """
+    if spec.program is not None:
+        return spec.program, spec.config, None, "inline"
+    prof = get_profile(spec.workload)
+    program, source = get_program(spec.workload, spec.seed)
+    config = spec.config
+    if prof.load_dependence_fraction is not None:
+        core = dataclasses.replace(
+            config.core, load_dependence_fraction=prof.load_dependence_fraction
+        )
+        config = config.replace(core=core)
+    return program, config, prof.data, source
+
+
 def _execute(spec: RunSpec) -> tuple[SimResult, float, dict]:
     """Simulate one spec; returns (result, wall seconds, execution metadata).
 
@@ -150,21 +182,9 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float, dict]:
     """
     started = time.perf_counter()
     meta = {"program_source": "inline", "checkpoint": "none", "warmup_seconds": 0.0}
-    if spec.program is not None:
-        simulator = Simulator(spec.program, spec.config)
-    else:
-        prof = get_profile(spec.workload)
-        program, meta["program_source"] = get_program(spec.workload, spec.seed)
-        config = spec.config
-        # Profiles may pin workload-intrinsic core parameters (a property of
-        # the code, not of the technique under test); apply them on top of the
-        # spec's config so every technique sees the same workload behaviour.
-        if prof.load_dependence_fraction is not None:
-            core = dataclasses.replace(
-                config.core, load_dependence_fraction=prof.load_dependence_fraction
-            )
-            config = config.replace(core=core)
-        simulator = Simulator(program, config, data_profile=prof.data)
+    program, config, data_profile, meta["program_source"] = _resolve_spec(spec)
+    simulator = Simulator(program, config, data_profile=data_profile)
+    if spec.program is None:
         if not ckpt.checkpointing_enabled():
             meta["checkpoint"] = "off"
         else:
@@ -182,7 +202,7 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float, dict]:
                         # pristine simulator and overwrite the bad entry.
                         blob = None
                         simulator = Simulator(
-                            program, config, data_profile=prof.data
+                            program, config, data_profile=data_profile
                         )
                 if blob is None:
                     simulator.functional_warmup(
@@ -200,6 +220,168 @@ def _execute(spec: RunSpec) -> tuple[SimResult, float, dict]:
         final_ftq_depth=simulator.ftq.depth,
     )
     return result, time.perf_counter() - started, meta
+
+
+def _execute_interval(
+    spec: RunSpec, plan: IntervalPlan
+) -> tuple[IntervalOutcome, float, dict]:
+    """Simulate one sampling interval of a sampled spec (pool-worker task).
+
+    Pre-measurement state is reached through the cheapest available route:
+    restore this interval's own mid-run checkpoint, else the nearest earlier
+    interval's, else the shared functional-warmup checkpoint, else a scratch
+    warmup — then :meth:`~repro.sim.simulator.Simulator.fast_forward_to` the
+    remaining distance (a no-op when the own checkpoint hit).  Whenever the
+    fast-forward actually walked, the reached state is captured under this
+    interval's key so later runs (and later intervals of this batch) start
+    from it.  All routes land on byte-identical state, so the measured
+    counters never depend on which checkpoints happened to exist.
+    """
+    started = time.perf_counter()
+    meta = {
+        "program_source": "inline",
+        "checkpoint": "none",
+        "warmup_seconds": 0.0,
+        "interval_restored": False,
+        "interval_created": False,
+    }
+    program, config, data_profile, meta["program_source"] = _resolve_spec(spec)
+
+    def fresh() -> Simulator:
+        return Simulator(
+            program, config, data_profile=data_profile, rng_seed=plan.rng_seed
+        )
+
+    simulator = fresh()
+    warmup_started = time.perf_counter()
+    own_key: str | None = None
+    store: ckpt.CheckpointStore | None = None
+    use_checkpoints = spec.cacheable and ckpt.checkpointing_enabled()
+    if not ckpt.checkpointing_enabled():
+        meta["checkpoint"] = "off"
+    if use_checkpoints:
+        store = ckpt.CheckpointStore()
+        program_key = ProgramStore().key_for(spec.workload, spec.seed)
+        # Candidate restore points, nearest (largest fast-forward) first.
+        candidates: list[tuple[int, str]] = []
+        if plan.ff_instructions > 0:
+            own_key = ckpt.interval_checkpoint_key(
+                program_key, spec.seed, spec.config, plan.ff_instructions
+            )
+            earlier = [
+                p
+                for p in sampling.plan_intervals(spec.config)
+                if 0 < p.ff_instructions <= plan.ff_instructions
+            ]
+            for p in sorted(
+                earlier, key=lambda p: p.ff_instructions, reverse=True
+            ):
+                key = (
+                    own_key
+                    if p.ff_instructions == plan.ff_instructions
+                    else ckpt.interval_checkpoint_key(
+                        program_key, spec.seed, spec.config, p.ff_instructions
+                    )
+                )
+                candidates.append((p.ff_instructions, key))
+        if spec.config.functional_warmup_blocks > 0:
+            candidates.append(
+                (0, ckpt.checkpoint_key(program_key, spec.seed, spec.config))
+            )
+        restored_ff: int | None = None
+        for ff, key in candidates:
+            blob = store.get(key)
+            if blob is None:
+                continue
+            try:
+                ckpt.restore_warmup(simulator, blob)
+            except ckpt.CheckpointError:
+                simulator = fresh()
+                continue
+            restored_ff = ff
+            break
+        if restored_ff is None:
+            if spec.config.functional_warmup_blocks > 0:
+                simulator.functional_warmup(spec.config.functional_warmup_blocks)
+                store.put(
+                    ckpt.checkpoint_key(program_key, spec.seed, spec.config),
+                    ckpt.capture_warmup(simulator),
+                )
+                meta["checkpoint"] = "created"
+        else:
+            meta["checkpoint"] = "restored"
+            meta["interval_restored"] = restored_ff == plan.ff_instructions
+    elif spec.config.functional_warmup_blocks > 0:
+        simulator.functional_warmup(spec.config.functional_warmup_blocks)
+    # The warmup's true-path position survives in the checkpointed counters,
+    # so the absolute fast-forward target is recoverable after any restore.
+    warmup_walked = simulator.counters.snapshot().get(
+        "warmup_instructions_functional", 0
+    )
+    ff_blocks, ff_walked = simulator.fast_forward_to(
+        warmup_walked + plan.ff_instructions
+    )
+    if store is not None and own_key is not None and ff_walked > 0:
+        store.put(own_key, ckpt.capture_warmup(simulator))
+        meta["interval_created"] = True
+    meta["warmup_seconds"] = time.perf_counter() - warmup_started
+    simulator.run_interval(
+        plan.measure_instructions, detailed_warmup=plan.detailed_warmup
+    )
+    outcome = IntervalOutcome(
+        index=plan.index,
+        counters=simulator.measured_counters(),
+        avg_ftq_occupancy=simulator.ftq.average_occupancy,
+        final_ftq_depth=simulator.ftq.depth,
+        ff_blocks=ff_blocks,
+        ff_instructions_walked=ff_walked,
+    )
+    return outcome, time.perf_counter() - started, meta
+
+
+def _merge_interval_meta(metas: list[dict]) -> dict:
+    """Aggregate per-interval execution metadata into one spec-level dict."""
+    checkpoints = [m.get("checkpoint", "none") for m in metas]
+    if "created" in checkpoints:
+        aggregated = "created"
+    elif "restored" in checkpoints:
+        aggregated = "restored"
+    else:
+        aggregated = checkpoints[0] if checkpoints else "none"
+    return {
+        "program_source": metas[0].get("program_source", "inline")
+        if metas
+        else "inline",
+        "checkpoint": aggregated,
+        "warmup_seconds": sum(m.get("warmup_seconds", 0.0) for m in metas),
+        "intervals": len(metas),
+        "interval_restores": sum(
+            1 for m in metas if m.get("interval_restored")
+        ),
+        "interval_creates": sum(1 for m in metas if m.get("interval_created")),
+    }
+
+
+def _execute_sampled(spec: RunSpec) -> tuple[SimResult, float, dict]:
+    """Run every interval of a sampled spec in-process and merge the results.
+
+    Intervals execute in index order, so each one's fast-forward restores
+    the previous interval's checkpoint and only walks one period — the
+    serial path pays the oracle walk for the measured region once, like a
+    plain run, not once per interval.
+    """
+    outcomes: list[IntervalOutcome] = []
+    metas: list[dict] = []
+    seconds = 0.0
+    for plan in sampling.plan_intervals(spec.config):
+        outcome, interval_seconds, meta = _execute_interval(spec, plan)
+        outcomes.append(outcome)
+        metas.append(meta)
+        seconds += interval_seconds
+    result = sampling.merge_intervals(
+        spec.workload, spec.label, spec.config, outcomes
+    )
+    return result, seconds, _merge_interval_meta(metas)
 
 
 # ---------------------------------------------------------------------------
@@ -379,6 +561,7 @@ class RunEvent:
     checkpoint: str = "none"  # "restored" | "created" | "off" | "none"
     program_source: str = "inline"  # "memo" | "disk" | "built" | "inline"
     warmup_seconds: float = 0.0  # restoring or re-creating the warmup
+    intervals: int = 0  # sampling intervals merged into this result (0 = full)
 
 
 ProgressCallback = Callable[[RunEvent], None]
@@ -415,6 +598,7 @@ class BatchStats:
         self.checkpoint_restores = 0
         self.checkpoint_creates = 0
         self.warmup_seconds = 0.0
+        self.intervals = 0
 
     def __call__(self, event: RunEvent) -> None:
         self.runs += 1
@@ -424,6 +608,7 @@ class BatchStats:
             self.simulated += 1
             self.sim_seconds += event.seconds
             self.warmup_seconds += event.warmup_seconds
+            self.intervals += event.intervals
             if event.checkpoint == "restored":
                 self.checkpoint_restores += 1
             elif event.checkpoint == "created":
@@ -439,6 +624,8 @@ class BatchStats:
                 f", {self.checkpoint_restores} warmups restored "
                 f"({self.checkpoint_creates} created)"
             )
+        if self.intervals:
+            text += f", {self.intervals} sampled intervals"
         return text
 
 
@@ -482,6 +669,15 @@ def run_batch(
     order never affects the returned order.
     """
     spec_list = list(specs)
+    if sampling.sampling_disabled():
+        # REPRO_NO_SAMPLING: normalize sampled specs to full fidelity up
+        # front so their cache keys match genuinely plain runs.
+        spec_list = [
+            dataclasses.replace(spec, config=spec.config.without_sampling())
+            if spec.config.sampling.enabled
+            else spec
+            for spec in spec_list
+        ]
     total = len(spec_list)
     callback = progress if progress is not None else _default_progress
 
@@ -536,6 +732,7 @@ def run_batch(
                     checkpoint=meta.get("checkpoint", "none"),
                     program_source=meta.get("program_source", "inline"),
                     warmup_seconds=meta.get("warmup_seconds", 0.0),
+                    intervals=meta.get("intervals", 0),
                 )
             )
 
@@ -554,42 +751,136 @@ def run_batch(
     workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
     if workers <= 1:
         # Serial path needs no scheduling: the first spec of each checkpoint
-        # group creates the snapshot, later ones restore it via _execute.
+        # group creates the snapshot, later ones restore it via _execute,
+        # and sampled specs chain their intervals inside _execute_sampled.
         for index in pending:
-            result, seconds, meta = _execute(spec_list[index])
-            finish(index, result, seconds, meta)
-    else:
-        # Group pending specs by checkpoint key so a missing checkpoint is
-        # created exactly once instead of racing in every worker.
-        keys = {index: _checkpoint_key_for(spec_list[index]) for index in pending}
-        store = ckpt.CheckpointStore()
-        leaders: list[int] = []
-        followers_by_key: dict[str, list[int]] = {}
-        claimed: set[str] = set()
-        for index in pending:
-            key = keys[index]
-            if key is None or store.exists(key):
-                leaders.append(index)
-            elif key in claimed:
-                followers_by_key.setdefault(key, []).append(index)
+            spec = spec_list[index]
+            if spec.config.sampling.enabled:
+                result, seconds, meta = _execute_sampled(spec)
             else:
-                claimed.add(key)
-                leaders.append(index)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            waiting = {
-                pool.submit(_execute, spec_list[index]): index for index in leaders
-            }
-            while waiting:
-                done, _ = wait(waiting, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = waiting.pop(future)
-                    result, seconds, meta = future.result()
-                    finish(index, result, seconds, meta)
-                    key = keys[index]
-                    if key is not None:
-                        for follower in followers_by_key.pop(key, ()):
-                            waiting[
-                                pool.submit(_execute, spec_list[follower])
-                            ] = follower
+                result, seconds, meta = _execute(spec)
+            finish(index, result, seconds, meta)
+        return results  # type: ignore[return-value]
+
+    # -- pool path ----------------------------------------------------------
+    # Work units are (spec index, interval index); full-fidelity specs are a
+    # single unit with interval -1.  Each unit lists the checkpoint keys it
+    # would create if missing, in creation order (warmup first, then its own
+    # interval key).  A unit claims each missing key it reaches; hitting a
+    # key claimed by another unit parks it there until that unit completes,
+    # so every missing checkpoint is created exactly once instead of racing
+    # in every worker.  Claim order (warmup before interval) makes the
+    # wait-for chains acyclic: a unit parked on an interval key always waits
+    # on a *running* unit, never on another parked one.
+    units: list[tuple[int, int]] = []
+    plans_by_index: dict[int, list[IntervalPlan]] = {}
+    for index in pending:
+        spec = spec_list[index]
+        if spec.config.sampling.enabled:
+            plans = sampling.plan_intervals(spec.config)
+            plans_by_index[index] = plans
+            units.extend((index, plan.index) for plan in plans)
+        else:
+            units.append((index, -1))
+
+    store = ckpt.CheckpointStore()
+    create_keys: dict[tuple[int, int], list[str]] = {}
+    for index, interval in units:
+        spec = spec_list[index]
+        keys: list[str] = []
+        warmup_key = _checkpoint_key_for(spec)
+        if warmup_key is not None:
+            keys.append(warmup_key)
+        if (
+            interval >= 0
+            and spec.cacheable
+            and ckpt.checkpointing_enabled()
+        ):
+            plan = plans_by_index[index][interval]
+            if plan.ff_instructions > 0:
+                program_key = ProgramStore().key_for(spec.workload, spec.seed)
+                keys.append(
+                    ckpt.interval_checkpoint_key(
+                        program_key, spec.seed, spec.config, plan.ff_instructions
+                    )
+                )
+        create_keys[(index, interval)] = keys
+
+    claimed: dict[str, tuple[int, int]] = {}
+    parked: dict[str, list[tuple[int, int]]] = {}
+    waiting: dict = {}
+    interval_payloads: dict[int, list[tuple[IntervalOutcome, float, dict]]] = {}
+    first_error: BaseException | None = None
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+
+        def try_submit(unit: tuple[int, int]) -> None:
+            index, interval = unit
+            for key in create_keys[unit]:
+                if store.exists(key):
+                    continue
+                owner = claimed.get(key)
+                if owner is None:
+                    claimed[key] = unit
+                elif owner != unit:
+                    parked.setdefault(key, []).append(unit)
+                    return
+            spec = spec_list[index]
+            if interval < 0:
+                future = pool.submit(_execute, spec)
+            else:
+                future = pool.submit(
+                    _execute_interval, spec, plans_by_index[index][interval]
+                )
+            waiting[future] = unit
+
+        def release(unit: tuple[int, int]) -> list[tuple[int, int]]:
+            freed: list[tuple[int, int]] = []
+            for key in create_keys[unit]:
+                if claimed.get(key) == unit:
+                    del claimed[key]
+                    freed.extend(parked.pop(key, ()))
+            return freed
+
+        for unit in units:
+            try_submit(unit)
+        while waiting:
+            done, _ = wait(waiting, return_when=FIRST_COMPLETED)
+            for future in done:
+                unit = waiting.pop(future)
+                index, interval = unit
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    # Defer the failure until the pool drains: parked units
+                    # must still run (falling back to creating the state the
+                    # failed unit claimed), otherwise they would deadlock.
+                    if first_error is None:
+                        first_error = exc
+                else:
+                    if interval < 0:
+                        result, seconds, meta = payload
+                        finish(index, result, seconds, meta)
+                    else:
+                        bucket = interval_payloads.setdefault(index, [])
+                        bucket.append(payload)
+                        if len(bucket) == len(plans_by_index[index]):
+                            bucket.sort(key=lambda p: p[0].index)
+                            merged = sampling.merge_intervals(
+                                spec_list[index].workload,
+                                spec_list[index].label,
+                                spec_list[index].config,
+                                [p[0] for p in bucket],
+                            )
+                            finish(
+                                index,
+                                merged,
+                                sum(p[1] for p in bucket),
+                                _merge_interval_meta([p[2] for p in bucket]),
+                            )
+                for follower in release(unit):
+                    try_submit(follower)
+    if first_error is not None:
+        raise first_error
 
     return results  # type: ignore[return-value]

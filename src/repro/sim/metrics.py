@@ -32,6 +32,9 @@ class SimResult:
     counters: dict[str, int] = field(default_factory=dict)
     avg_ftq_occupancy: float = 0.0
     final_ftq_depth: int = 0
+    # Interval-sampling metadata (None for full-fidelity runs): per-interval
+    # IPCs and their mean/CI, as produced by repro.sim.sampling.merge_intervals.
+    sampling: dict | None = None
 
     def __getitem__(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -138,7 +141,7 @@ class SimResult:
         :meth:`from_dict` reconstructs everything from the raw fields and
         ignores it, so ``from_dict(to_dict(r)) == r`` always holds.
         """
-        return {
+        data = {
             "workload": self.workload,
             "config_name": self.config_name,
             "counters": dict(self.counters),
@@ -146,6 +149,9 @@ class SimResult:
             "final_ftq_depth": self.final_ftq_depth,
             "metrics": self.summary(),
         }
+        if self.sampling is not None:
+            data["sampling"] = dict(self.sampling)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
@@ -160,6 +166,7 @@ class SimResult:
             counters={str(k): int(v) for k, v in dict(data["counters"]).items()},
             avg_ftq_occupancy=float(data.get("avg_ftq_occupancy", 0.0)),
             final_ftq_depth=int(data.get("final_ftq_depth", 0)),
+            sampling=dict(data["sampling"]) if data.get("sampling") else None,
         )
 
     def summary(self) -> dict[str, float]:

@@ -151,6 +151,30 @@ def miss_heavy_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfi
     return config.replace(memory=memory, frontend=frontend)
 
 
+def apply_sampling(
+    config: SimConfig,
+    num_intervals: int,
+    interval_length: int | None = None,
+    detailed_warmup: int | None = None,
+) -> SimConfig:
+    """Enable interval sampling on any preset with sensible defaults.
+
+    Unless given explicitly, each interval measures 10% of its period and
+    runs half an interval of detailed (unmeasured) warmup first — small
+    enough for an order-of-magnitude speedup, long enough to re-steady the
+    pipeline after the functional fast-forward.  Used by the ``--sample``
+    CLI flags; pass exact values for full control.
+    """
+    if num_intervals <= 0:
+        raise ValueError("num_intervals must be positive")
+    period = config.max_instructions // num_intervals
+    if interval_length is None:
+        interval_length = max(1, period // 10)
+    if detailed_warmup is None:
+        detailed_warmup = min(interval_length // 2, period - interval_length)
+    return config.with_sampling(num_intervals, interval_length, detailed_warmup)
+
+
 PRESET_BUILDERS = {
     "baseline": baseline_config,
     "perfect-icache": perfect_icache_config,

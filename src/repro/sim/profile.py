@@ -99,7 +99,15 @@ class ProfileReport:
     retired_instructions: int
     steps_executed: int
     ff_cycles_skipped: int
+    ff_jumps: int
     kips: float
+
+    @property
+    def avg_ff_jump_cycles(self) -> float:
+        """Average cycles advanced per fast-forward jump (0 when none)."""
+        if self.ff_jumps <= 0:
+            return 0.0
+        return self.ff_cycles_skipped / self.ff_jumps
     step_seconds: float  # cumulative time inside Simulator.step()
     stages: list[StageTime]
     step_overhead_seconds: float  # step() minus the five stage sub-trees
@@ -185,6 +193,7 @@ def profile_run(
         retired_instructions=retired,
         steps_executed=simulator.steps_executed,
         ff_cycles_skipped=simulator.ff_cycles_skipped,
+        ff_jumps=simulator.ff_jumps,
         kips=retired / wall / 1000.0 if wall > 0 else 0.0,
         step_seconds=step_seconds,
         stages=[stage_totals[name] for name in _STAGE_ORDER],
@@ -202,7 +211,9 @@ def format_report(report: ProfileReport) -> str:
         f"{report.cycles} cycles, {report.wall_seconds:.2f}s wall "
         f"({report.kips:.1f} KIPS)",
         f"  step() invocations: {report.steps_executed}  "
-        f"fast-forwarded cycles: {report.ff_cycles_skipped}",
+        f"fast-forwarded cycles: {report.ff_cycles_skipped} "
+        f"({report.ff_jumps} jumps, avg {report.avg_ff_jump_cycles:.1f} "
+        f"cycles/jump)",
         "",
         "  per-stage breakdown (cumulative seconds inside step()):",
     ]

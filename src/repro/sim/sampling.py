@@ -1,0 +1,181 @@
+"""Interval sampling: plan systematic intervals and merge their results.
+
+SMARTS-style systematic sampling of the measured region (see
+``docs/performance.md``): ``SimConfig.sampling`` divides the
+``max_instructions`` true-path instructions into ``num_intervals`` equal
+periods.  Each period ends with ``detailed_warmup`` cycle-simulated but
+unmeasured instructions followed by ``interval_length`` measured
+instructions; everything earlier in the period is functionally
+fast-forwarded at oracle-walk speed
+(:meth:`~repro.sim.simulator.Simulator.fast_forward_to`).  The engine
+executes intervals as independent tasks (:mod:`repro.sim.engine`), reusing
+mid-run checkpoints keyed by the fast-forward distance
+(:func:`~repro.sim.checkpoint.interval_checkpoint_key`).
+
+This module is pure planning and aggregation:
+
+* :func:`plan_intervals` — the per-interval fast-forward targets, budgets,
+  and derived RNG seeds for a sampled configuration;
+* :func:`merge_intervals` — sum per-interval measured counters into one
+  :class:`~repro.sim.metrics.SimResult` carrying a ``sampling`` block with
+  per-interval IPCs and their mean/CI (the reported sampling error);
+* ``REPRO_NO_SAMPLING=1`` (:func:`sampling_disabled`) — a global opt-out:
+  the engine normalizes sampled specs back to full fidelity, sharing cache
+  entries with genuinely plain runs.
+
+Anchoring measurement at the *end* of each period makes the degenerate
+configuration — one interval covering the whole region with no detailed
+warmup — fast-forward zero instructions, so its counters are byte-identical
+to a plain full-fidelity run (the equivalence oracle enforced per preset by
+``tests/sim/test_sampling.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.config import SimConfig
+from repro.common.rng import interval_seed
+from repro.common.stats import (
+    ci95_half_width,
+    mean,
+    relative_half_width,
+    stdev,
+)
+from repro.sim.metrics import SimResult
+
+NO_SAMPLING_ENV = "REPRO_NO_SAMPLING"
+
+__all__ = [
+    "NO_SAMPLING_ENV",
+    "IntervalOutcome",
+    "IntervalPlan",
+    "merge_intervals",
+    "plan_intervals",
+    "sampling_disabled",
+]
+
+
+def sampling_disabled() -> bool:
+    """True when ``REPRO_NO_SAMPLING`` forces full-fidelity simulation."""
+    return os.environ.get(NO_SAMPLING_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+@dataclass(frozen=True)
+class IntervalPlan:
+    """One systematic sampling interval of a sampled configuration.
+
+    ``ff_instructions`` counts true-path instructions to skip past the end
+    of the functional warmup (block-granular, see ``fast_forward_to``);
+    ``rng_seed`` drives the measured-region stochastic components and is
+    derived from ``(config.seed, index)`` so results are independent of
+    worker scheduling order.
+    """
+
+    index: int
+    ff_instructions: int
+    detailed_warmup: int
+    measure_instructions: int
+    rng_seed: int
+
+
+@dataclass
+class IntervalOutcome:
+    """What one executed interval contributes to the merged result."""
+
+    index: int
+    counters: dict[str, int]
+    avg_ftq_occupancy: float
+    final_ftq_depth: int
+    ff_blocks: int
+    ff_instructions_walked: int
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.counters.get("cycles", 0)
+        if cycles <= 0:
+            return 0.0
+        return self.counters.get("retired_instructions", 0) / cycles
+
+
+def plan_intervals(config: SimConfig) -> list[IntervalPlan]:
+    """The interval schedule of a sampled configuration, in index order."""
+    s = config.sampling
+    if not s.enabled:
+        raise ValueError("plan_intervals requires sampling to be enabled")
+    period = s.period(config.max_instructions)
+    plans = []
+    for index in range(s.num_intervals):
+        ff = (index + 1) * period - s.interval_length - s.detailed_warmup
+        plans.append(
+            IntervalPlan(
+                index=index,
+                ff_instructions=ff,
+                detailed_warmup=s.detailed_warmup,
+                measure_instructions=s.interval_length,
+                rng_seed=interval_seed(config.seed, index),
+            )
+        )
+    return plans
+
+
+def merge_intervals(
+    workload: str,
+    label: str,
+    config: SimConfig,
+    outcomes: list[IntervalOutcome],
+) -> SimResult:
+    """Merge per-interval measured counters into one :class:`SimResult`.
+
+    Counters are summed entry-wise with no zero-dropping, so merging the
+    degenerate single interval reproduces its counter dict exactly (the
+    byte-identity gate).  The ``sampling`` block reports per-interval IPCs
+    with mean, sample stdev, and a normal-approximation 95% CI half-width —
+    the sampling error estimate to quote next to the merged IPC.
+    """
+    if not outcomes:
+        raise ValueError("cannot merge zero intervals")
+    outcomes = sorted(outcomes, key=lambda o: o.index)
+    merged: dict[str, int] = {}
+    for outcome in outcomes:
+        for name, value in outcome.counters.items():
+            merged[name] = merged.get(name, 0) + value
+
+    cycles = [outcome.counters.get("cycles", 0) for outcome in outcomes]
+    total_cycles = sum(cycles)
+    if total_cycles > 0:
+        avg_occupancy = (
+            sum(o.avg_ftq_occupancy * c for o, c in zip(outcomes, cycles))
+            / total_cycles
+        )
+    else:
+        avg_occupancy = mean([o.avg_ftq_occupancy for o in outcomes])
+
+    ipcs = [outcome.ipc for outcome in outcomes]
+    s = config.sampling
+    sampling_block = {
+        "num_intervals": s.num_intervals,
+        "interval_length": s.interval_length,
+        "detailed_warmup": s.detailed_warmup,
+        "interval_ipc": ipcs,
+        "ipc_mean": mean(ipcs),
+        "ipc_stdev": stdev(ipcs),
+        "ipc_ci95_half": ci95_half_width(ipcs),
+        "ipc_relative_ci95": relative_half_width(ipcs),
+        "ff_instructions_total": sum(o.ff_instructions_walked for o in outcomes),
+        "ff_blocks_total": sum(o.ff_blocks for o in outcomes),
+    }
+    return SimResult(
+        workload=workload,
+        config_name=label,
+        counters=merged,
+        avg_ftq_occupancy=avg_occupancy,
+        final_ftq_depth=outcomes[-1].final_ftq_depth,
+        sampling=sampling_block,
+    )

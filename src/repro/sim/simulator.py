@@ -28,6 +28,7 @@ from repro.common.addr import INSTR_BYTES
 from repro.common.config import SimConfig
 from repro.common.counters import Counters
 from repro.common.errors import SimulationError
+from repro.core.superline import superline_base
 from repro.core.udp import UDPFilter
 from repro.core.uftq import UFTQController
 from repro.frontend.bpu import DecoupledFrontend
@@ -54,10 +55,17 @@ class Simulator:
         program: Program,
         config: SimConfig,
         data_profile: DataProfile | None = None,
+        rng_seed: int | None = None,
     ) -> None:
         config.validate()
         self.program = program
         self.config = config
+        # Stochastic measured-region components (data addresses, backend
+        # latency draws) may use a seed decoupled from the synthesis seed —
+        # interval sampling derives one per interval.  Functional state
+        # (oracle walk, warmup training) never consumes this stream, so
+        # warmup checkpoints are shared across rng_seed values.
+        self.rng_seed = rng_seed if rng_seed is not None else config.seed
         self.counters = Counters()
         self.cycle = 0
 
@@ -96,10 +104,10 @@ class Simulator:
         self.prefetcher = self._build_standalone_prefetcher()
 
         self.data_gen = DataAddressGenerator(
-            data_profile if data_profile is not None else DataProfile(), config.seed
+            data_profile if data_profile is not None else DataProfile(), self.rng_seed
         )
         self.backend = BackendCore(
-            config.core, self.hierarchy, self.data_gen, self.counters, seed=config.seed
+            config.core, self.hierarchy, self.data_gen, self.counters, seed=self.rng_seed
         )
         if self.udp is not None:
             self.backend.retire_hook = self.udp.on_retire
@@ -193,19 +201,8 @@ class Simulator:
                     # Seniority-FTQ would have promoted over a long warmup.
                     warmed_lines.add(line_addr)
                     udp.useful_set.insert(line_addr)
-            branch = transition.branch
-            if branch is not None:
-                if branch.kind == BranchKind.COND:
-                    prediction = bpu.tage.predict(branch.pc)
-                    bpu.tage.update(prediction, transition.taken)
-                    bpu.history.push(transition.taken)
-                    bpu.btb.fill(branch.pc, branch.kind, branch.target)
-                elif branch.kind.is_indirect:
-                    bpu.train_indirect(branch.pc, transition.next_pc, branch.kind)
-                elif branch.kind == BranchKind.RET:
-                    bpu.btb.fill(branch.pc, branch.kind, 0)
-                else:
-                    bpu.btb.fill(branch.pc, branch.kind, branch.target)
+            if transition.branch is not None:
+                self._train_functional_branch(transition)
             self.oracle.advance(transition)
         bpu.ras.repair(self.oracle.call_stack)
         self.frontend.spec_pc = self.oracle.pc
@@ -213,6 +210,116 @@ class Simulator:
         self._warmup_baseline = self.counters.snapshot()
         self.counters.set("warmup_blocks", num_blocks)
         self.counters.set("warmup_instructions_functional", self.oracle.instrs_walked)
+
+    def _train_functional_branch(self, transition) -> None:
+        """Train the BPU with one true-path transition (no timing).
+
+        Shared between :meth:`functional_warmup` and :meth:`fast_forward_to`:
+        exactly what a correct-path execution would teach the predictors.
+        """
+        bpu = self.bpu
+        branch = transition.branch
+        if branch.kind == BranchKind.COND:
+            prediction = bpu.tage.predict(branch.pc)
+            bpu.tage.update(prediction, transition.taken)
+            bpu.history.push(transition.taken)
+            bpu.btb.fill(branch.pc, branch.kind, branch.target)
+        elif branch.kind.is_indirect:
+            bpu.train_indirect(branch.pc, transition.next_pc, branch.kind)
+        elif branch.kind == BranchKind.RET:
+            bpu.btb.fill(branch.pc, branch.kind, 0)
+        else:
+            bpu.btb.fill(branch.pc, branch.kind, branch.target)
+
+    # -- sampling: functional fast-forward between intervals ---------------------
+
+    def _useful_set_holds(self, line_addr: int) -> bool:
+        """Silent membership probe of the UDP useful-set.
+
+        Mirrors :meth:`UsefulSet.query` (all three filter granularities plus
+        the still-buffered coalescer lines) without bumping its hit counters,
+        so fast-forward dedup never perturbs measured statistics.  A pure
+        function of current state, which keeps segmented fast-forwards
+        byte-identical to one-shot walks over the same span.
+        """
+        us = self.udp.useful_set
+        if us.infinite:
+            return line_addr in us._exact
+        if line_addr in us.coalescer._lines:
+            return True
+        return any(
+            us.filters[size].contains(superline_base(line_addr, size))
+            for size in (4, 2, 1)
+        )
+
+    def fast_forward_to(self, target_walked: int) -> tuple[int, int]:
+        """Functionally advance the oracle to ``target_walked`` instructions.
+
+        ``target_walked`` is an *absolute* position in true-path instructions
+        (``oracle.instrs_walked``); the walk stops at the first basic-block
+        boundary at or past it, so chaining fast-forwards through
+        intermediate targets lands in exactly the same state as one direct
+        jump (interval checkpoints depend on this).  Training mirrors
+        :meth:`functional_warmup`; afterwards the warmup baseline is
+        re-snapshotted so the skipped span never leaks into measurement.
+
+        Returns ``(blocks_walked, instructions_walked)`` for this call.
+        Already being at or past the target is a strict no-op — the
+        degenerate one-interval sampling run stays byte-identical to a plain
+        run.
+        """
+        if self.cycle != 0:
+            raise SimulationError("fast-forward must precede run()")
+        oracle = self.oracle
+        if self._warmed and oracle.instrs_walked >= target_walked:
+            return (0, 0)
+        start_blocks = oracle.blocks_walked
+        start_instrs = oracle.instrs_walked
+        bpu = self.bpu
+        l1i = self.l1i
+        hierarchy = self.hierarchy
+        udp = self.udp
+        while oracle.instrs_walked < target_walked:
+            transition = oracle.transition()
+            block = transition.block
+            for line_addr in range(block.addr & ~63, block.end_addr, 64):
+                if not l1i.contains(line_addr):
+                    hierarchy.instruction_miss_latency(line_addr)  # fills L2/LLC
+                l1i.install(line_addr)
+                if udp is not None and not self._useful_set_holds(line_addr):
+                    udp.useful_set.insert(line_addr)
+            if transition.branch is not None:
+                self._train_functional_branch(transition)
+            oracle.advance(transition)
+        bpu.ras.repair(oracle.call_stack)
+        self.frontend.spec_pc = oracle.pc
+        self._warmed = True
+        walked_blocks = oracle.blocks_walked - start_blocks
+        walked_instrs = oracle.instrs_walked - start_instrs
+        if walked_blocks:
+            self.counters.bump("sampling_ff_blocks", walked_blocks)
+            self.counters.bump("sampling_ff_instructions", walked_instrs)
+        self._warmup_baseline = self._meta_preserving_snapshot()
+        return (walked_blocks, walked_instrs)
+
+    # Bookkeeping counters that describe pre-measurement work; baseline
+    # re-snapshots in the sampling paths keep them out of the subtraction so
+    # measured_counters() reports their cumulative values (parity with how
+    # functional_warmup exposes warmup_blocks).  Cumulative bumps are
+    # path-invariant, so chained fast-forwards report the same totals as one
+    # direct jump.
+    _META_COUNTERS = (
+        "warmup_blocks",
+        "warmup_instructions_functional",
+        "sampling_ff_blocks",
+        "sampling_ff_instructions",
+    )
+
+    def _meta_preserving_snapshot(self) -> dict[str, int]:
+        baseline = self.counters.snapshot()
+        for name in self._META_COUNTERS:
+            baseline.pop(name, None)
+        return baseline
 
     # -- top-level run loop ----------------------------------------------------
 
@@ -236,6 +343,42 @@ class Simulator:
             self.step()
             if not warmup_done and self.backend.retired_instructions >= warmup:
                 self._warmup_baseline = self.counters.snapshot()
+                self._warmup_cycle = self.cycle
+                self._warmup_retired = self.backend.retired_instructions
+                warmup_done = True
+        self.counters.set("cycles", self.cycle)
+        self.counters.set("retired_instructions", self.backend.retired_instructions)
+
+    def run_interval(
+        self, measure_instructions: int, detailed_warmup: int = 0
+    ) -> None:
+        """Simulate one bounded sampling interval (stop at retired N more).
+
+        Cycle-simulates ``detailed_warmup`` unmeasured instructions (the
+        prologue that settles in-flight/pipeline state the functional
+        fast-forward cannot reproduce), re-snapshots the warmup baseline,
+        then simulates ``measure_instructions`` measured instructions.  Both
+        budgets are *relative* to the instructions already retired, so the
+        method is resumable.  With no prologue the loop is exactly
+        :meth:`run`'s — one interval spanning the whole measured region is
+        byte-identical to a plain run.  :meth:`measured_counters` afterwards
+        reports the measured span only.
+        """
+        if not self._warmed and self.cycle == 0 and self.config.functional_warmup_blocks > 0:
+            self.functional_warmup(self.config.functional_warmup_blocks)
+        base_retired = self.backend.retired_instructions
+        warmup_target = base_retired + detailed_warmup
+        target = warmup_target + measure_instructions
+        warmup_done = detailed_warmup == 0
+        while self.backend.retired_instructions < target:
+            if self.cycle >= self.config.max_cycles:
+                raise SimulationError(
+                    f"cycle limit {self.config.max_cycles} hit at "
+                    f"{self.backend.retired_instructions} retired instructions"
+                )
+            self.step()
+            if not warmup_done and self.backend.retired_instructions >= warmup_target:
+                self._warmup_baseline = self._meta_preserving_snapshot()
                 self._warmup_cycle = self.cycle
                 self._warmup_retired = self.backend.retired_instructions
                 warmup_done = True

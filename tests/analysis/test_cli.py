@@ -84,6 +84,57 @@ def test_reuse_command(capsys):
     assert "miss rate" in out
 
 
+def test_run_with_sampling(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main([
+        "run", "-w", "mediawiki", "-c", "baseline", "-n", "4000",
+        "--sample", "2", "--sample-length", "300", "--sample-warmup", "100",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sampled: 2 intervals x 300 instructions" in out
+    assert "rel. CI95" in out
+
+
+def test_compare_with_sampling(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main([
+        "compare", "-w", "mediawiki", "-c", "baseline,perfect-icache",
+        "-n", "4000", "--sample", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "perfect-icache IPC" in out
+
+
+def test_cache_info_human_readable(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["run", "-w", "mediawiki", "-c", "baseline", "-n", "2500"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "KiB" in out  # human-readable size ...
+    assert "bytes)" in out  # ... next to the raw byte count
+    assert "total size" in out
+
+
+def test_cache_clear_rejects_unknown_class(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["cache", "clear", "--class", "checkpoint"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown cache class 'checkpoint'" in err
+    assert "results, programs, checkpoints, all" in err
+
+
+def test_cache_clear_accepts_comma_separated_classes(
+    tmp_path, monkeypatch, capsys
+):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["run", "-w", "mediawiki", "-c", "baseline", "-n", "2500"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "clear", "--class", "results,checkpoints"]) == 0
+    out = capsys.readouterr().out
+    assert "(results, checkpoints)" in out
+
+
 def test_report_command(tmp_path, capsys):
     out_file = tmp_path / "r.md"
     assert main([

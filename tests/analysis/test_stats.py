@@ -44,3 +44,20 @@ def test_multi_seed_perfect_icache_always_wins():
     )
     assert len(stats.ratios) == 2
     assert stats.mean >= 0.97
+
+
+def test_ipc_sampling_error():
+    from repro.analysis.stats import ipc_sampling_error
+    from repro.sim.metrics import SimResult
+
+    def result(retired, cycles):
+        return SimResult("w", "c", counters={
+            "retired_instructions": retired, "cycles": cycles,
+        })
+
+    reference = result(1000, 1000)  # IPC 1.0
+    assert ipc_sampling_error(result(1000, 1000), reference) == 0.0
+    assert ipc_sampling_error(result(980, 1000), reference) == pytest.approx(0.02)
+    assert ipc_sampling_error(result(1030, 1000), reference) == pytest.approx(0.03)
+    zero = result(0, 0)
+    assert ipc_sampling_error(result(980, 1000), zero) == 0.0

@@ -251,6 +251,38 @@ def test_cache_info_reports_per_class(tmp_path, monkeypatch):
     assert info.checkpoints == 1 and info.checkpoint_bytes > 0
 
 
+# ---------------------------------------------------------------------------
+# Scheduler robustness: a checkpoint leader dying must not strand followers
+# ---------------------------------------------------------------------------
+
+_REAL_EXECUTE = engine._execute
+
+
+def _exploding_execute(spec):
+    if spec.label == "boom":
+        raise RuntimeError("injected leader failure")
+    return _REAL_EXECUTE(spec)
+
+
+def test_pool_leader_failure_releases_followers(monkeypatch):
+    # All three specs share one warmup checkpoint key; the first submitted
+    # unit claims it (the leader) and dies before the checkpoint lands.  The
+    # parked followers must be released to create the state themselves — the
+    # batch raises the injected error only after the pool drains, with every
+    # surviving spec finished (no deadlock, no lost results).
+    monkeypatch.setattr(engine, "_execute", _exploding_execute)
+    specs = [
+        spec_for("mediawiki", FAST.with_ftq_depth(16), 1, "boom"),
+        spec_for("mediawiki", FAST.with_ftq_depth(32), 1, "ftq32"),
+        spec_for("mediawiki", FAST.with_ftq_depth(16), 1, "ftq16"),
+    ]
+    events = []
+    with pytest.raises(RuntimeError, match="injected leader failure"):
+        run_batch(specs, jobs=2, no_cache=True, progress=events.append)
+    assert {e.spec.label for e in events} == {"ftq32", "ftq16"}
+    assert all(not e.cached and e.result.ipc > 0 for e in events)
+
+
 def test_cache_clear_accepts_class_filter(tmp_path, monkeypatch):
     monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "classes"))
     cache = ResultCache()

@@ -1,0 +1,46 @@
+"""Profiling harness: stage attribution and fast-forward jump statistics."""
+
+from repro.sim.presets import baseline_config, miss_heavy_config
+from repro.sim.profile import format_report, profile_run
+
+FAST = baseline_config(max_instructions=2_000).replace(
+    functional_warmup_blocks=800
+)
+
+
+def test_profile_reports_fast_forward_jumps():
+    config = miss_heavy_config(max_instructions=1_500).replace(
+        functional_warmup_blocks=600
+    )
+    report = profile_run("mediawiki", config, config_name="miss-heavy")
+    assert report.fast_forward
+    # The stall-dominated preset must actually take jumps, and the average
+    # must be consistent with the totals.
+    assert report.ff_jumps > 0
+    assert report.ff_cycles_skipped > 0
+    assert report.avg_ff_jump_cycles == (
+        report.ff_cycles_skipped / report.ff_jumps
+    )
+    text = format_report(report)
+    assert f"{report.ff_jumps} jumps" in text
+    assert "cycles/jump" in text
+
+
+def test_profile_without_fast_forward_reports_zero_jumps():
+    report = profile_run(
+        "mediawiki", FAST, config_name="baseline", fast_forward=False
+    )
+    assert not report.fast_forward
+    assert report.ff_jumps == 0
+    assert report.avg_ff_jump_cycles == 0.0
+    assert "(0 jumps, avg 0.0 cycles/jump)" in format_report(report)
+
+
+def test_profile_stage_breakdown_covers_step():
+    report = profile_run("mediawiki", FAST, config_name="baseline")
+    assert report.retired_instructions >= FAST.max_instructions
+    assert {s.name for s in report.stages} == {
+        "fills", "backend", "fetch/decode", "fdip-scan", "generate",
+    }
+    assert report.step_overhead_seconds >= 0.0
+    assert report.as_dict()["ff_jumps"] == report.ff_jumps

@@ -1,0 +1,296 @@
+"""Interval-sampled simulation: planning, equivalence, and determinism.
+
+The load-bearing property is the equivalence oracle: one interval covering
+the whole measured region with no detailed warmup must produce counters
+byte-identical to a plain full-fidelity run, on every preset family the
+benchmark sweeps.  Everything else (pool scheduling, per-interval RNG
+seeds, checkpoint reuse, the ``REPRO_NO_SAMPLING`` escape hatch) must never
+change a merged result.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import ConfigError, SamplingConfig
+from repro.common.rng import interval_seed
+from repro.sim import checkpoint as ckpt
+from repro.sim import engine, sampling
+from repro.sim.engine import BatchStats, run_batch, spec_for
+from repro.sim.metrics import SimResult
+from repro.sim.presets import (
+    apply_sampling,
+    baseline_config,
+    miss_heavy_config,
+    udp_config,
+)
+
+FAST = baseline_config(max_instructions=2_000).replace(
+    functional_warmup_blocks=800
+)
+
+
+@pytest.fixture(autouse=True)
+def _sampling_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(engine.JOBS_ENV, "2")
+    monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(engine.NO_CACHE_ENV, raising=False)
+    monkeypatch.delenv("REPRO_NO_CHECKPOINT", raising=False)
+    monkeypatch.delenv(sampling.NO_SAMPLING_ENV, raising=False)
+
+
+def _identical(a: SimResult, b: SimResult) -> bool:
+    return json.dumps(a.counters, sort_keys=True) == json.dumps(
+        b.counters, sort_keys=True
+    ) and a.avg_ftq_occupancy == b.avg_ftq_occupancy
+
+
+# ---------------------------------------------------------------------------
+# Configuration and planning
+# ---------------------------------------------------------------------------
+
+
+def test_sampling_config_validation():
+    SamplingConfig().validate(10_000)  # disabled is always fine
+    with pytest.raises(ConfigError):
+        SamplingConfig(num_intervals=-1).validate(10_000)
+    with pytest.raises(ConfigError):
+        SamplingConfig(num_intervals=2).validate(10_000)  # zero length
+    with pytest.raises(ConfigError):
+        SamplingConfig(2, 4_000, 2_000).validate(10_000)  # exceeds period
+    SamplingConfig(2, 4_000, 1_000).validate(10_000)
+
+
+def test_sampling_rejects_timed_warmup():
+    config = FAST.replace(warmup_instructions=200).with_sampling(2, 100)
+    with pytest.raises(ConfigError, match="warmup_instructions"):
+        config.validate()
+    config.replace(warmup_instructions=0).validate()
+
+
+def test_with_and_without_sampling_round_trip():
+    sampled = FAST.with_sampling(4, 100, 50)
+    assert sampled.sampling == SamplingConfig(4, 100, 50)
+    assert sampled.without_sampling() == FAST
+    assert FAST.without_sampling() == FAST  # no-op when already plain
+
+
+def test_interval_seed_identity_and_determinism():
+    assert interval_seed(7, 0) == 7  # K=1 keeps the base seed
+    assert interval_seed(7, 3) == interval_seed(7, 3)
+    seeds = {interval_seed(7, i) for i in range(16)}
+    assert len(seeds) == 16
+    assert interval_seed(7, 3) != interval_seed(8, 3)
+
+
+def test_plan_intervals_anchors_measurement_at_period_end():
+    config = baseline_config(max_instructions=20_000).with_sampling(4, 500, 250)
+    plans = sampling.plan_intervals(config)
+    assert [p.index for p in plans] == [0, 1, 2, 3]
+    assert [p.ff_instructions for p in plans] == [4_250, 9_250, 14_250, 19_250]
+    assert all(p.measure_instructions == 500 for p in plans)
+    assert all(p.detailed_warmup == 250 for p in plans)
+    assert plans[0].rng_seed == config.seed
+    assert len({p.rng_seed for p in plans}) == 4
+    with pytest.raises(ValueError):
+        sampling.plan_intervals(baseline_config())
+
+
+def test_degenerate_plan_fast_forwards_nothing():
+    config = FAST.with_sampling(1, FAST.max_instructions, 0)
+    (plan,) = sampling.plan_intervals(config)
+    assert plan.ff_instructions == 0
+    assert plan.measure_instructions == FAST.max_instructions
+    assert plan.rng_seed == config.seed
+
+
+def test_apply_sampling_defaults():
+    config = apply_sampling(baseline_config(max_instructions=20_000), 4)
+    s = config.sampling
+    assert s.num_intervals == 4
+    assert s.interval_length == 500  # 10% of the 5000-instruction period
+    assert s.detailed_warmup == 250  # half the interval
+    explicit = apply_sampling(FAST, 2, 300, 10)
+    assert explicit.sampling == SamplingConfig(2, 300, 10)
+    with pytest.raises(ValueError):
+        apply_sampling(FAST, 0)
+
+
+def test_merge_intervals_requires_outcomes():
+    with pytest.raises(ValueError):
+        sampling.merge_intervals("w", "l", FAST.with_sampling(1, 100), [])
+
+
+# ---------------------------------------------------------------------------
+# The equivalence oracle: K=1 over the whole region == a plain run
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,config",
+    [
+        ("baseline", FAST),
+        (
+            "udp",
+            udp_config(max_instructions=2_000).replace(
+                functional_warmup_blocks=800
+            ),
+        ),
+        (
+            "miss-heavy",
+            miss_heavy_config(max_instructions=1_500).replace(
+                functional_warmup_blocks=600
+            ),
+        ),
+    ],
+)
+def test_single_interval_is_byte_identical_to_plain(name, config):
+    plain = run_batch(
+        [spec_for("mediawiki", config, 1, name)], jobs=1, no_cache=True
+    )[0]
+    sampled_config = config.with_sampling(1, config.max_instructions, 0)
+    sampled = run_batch(
+        [spec_for("mediawiki", sampled_config, 1, name)], jobs=1, no_cache=True
+    )[0]
+    assert sampled.counters == plain.counters
+    assert sampled.avg_ftq_occupancy == plain.avg_ftq_occupancy
+    assert sampled.final_ftq_depth == plain.final_ftq_depth
+    assert sampled.sampling["num_intervals"] == 1
+    assert sampled.sampling["ff_instructions_total"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Multi-interval execution: pooling, determinism, checkpoints
+# ---------------------------------------------------------------------------
+
+
+def _sampled_spec(label="k4", seed=1):
+    return spec_for("mediawiki", FAST.with_sampling(4, 200, 100), seed, label)
+
+
+def test_pooled_intervals_match_serial():
+    serial = run_batch([_sampled_spec()], jobs=1, no_cache=True)[0]
+    pooled = run_batch([_sampled_spec()], jobs=2, no_cache=True)[0]
+    assert _identical(serial, pooled)
+    # The ff_* fields report walking actually performed, which shrinks once
+    # interval checkpoints exist; everything measured must be invariant.
+    stable = lambda b: {k: v for k, v in b.items() if not k.startswith("ff_")}
+    assert stable(pooled.sampling) == stable(serial.sampling)
+
+
+def test_repeated_pooled_runs_are_deterministic():
+    # S3: per-interval RNG seeds derive from (base seed, interval index), so
+    # worker scheduling order can never leak into the merged counters.
+    first = run_batch([_sampled_spec()], jobs=2, no_cache=True)[0]
+    second = run_batch([_sampled_spec()], jobs=2, no_cache=True)[0]
+    assert _identical(first, second)
+    different_seed = run_batch(
+        [_sampled_spec(seed=2)], jobs=2, no_cache=True
+    )[0]
+    assert first.counters != different_seed.counters
+
+
+def test_sampled_run_reports_interval_stats():
+    stats = BatchStats()
+    result = run_batch([_sampled_spec()], jobs=1, no_cache=True, progress=stats)[0]
+    block = result.sampling
+    assert block["num_intervals"] == 4
+    assert len(block["interval_ipc"]) == 4
+    assert block["ipc_mean"] == pytest.approx(
+        sum(block["interval_ipc"]) / 4
+    )
+    assert block["ipc_ci95_half"] >= 0
+    assert block["ff_instructions_total"] > 0
+    assert stats.intervals == 4
+    assert "4 sampled intervals" in stats.summary()
+    assert isinstance(result.counters["cycles"], int)
+
+
+def test_interval_checkpoints_created_and_reused():
+    store = ckpt.CheckpointStore()
+    spec = _sampled_spec()
+    run_batch([spec], jobs=1, no_cache=True)
+    plans = sampling.plan_intervals(spec.config)
+    program_key = engine.ProgramStore().key_for(spec.workload, spec.seed)
+    interval_keys = [
+        ckpt.interval_checkpoint_key(
+            program_key, spec.seed, spec.config, p.ff_instructions
+        )
+        for p in plans
+        if p.ff_instructions > 0
+    ]
+    assert interval_keys and all(store.exists(k) for k in interval_keys)
+    # A measured-length tweak reuses the same fast-forward positions only
+    # where they coincide; the warmup checkpoint is always shared.
+    warmup_key = engine._checkpoint_key_for(spec)
+    assert store.exists(warmup_key)
+    # Second run restores every interval checkpoint instead of re-walking.
+    rerun = run_batch([_sampled_spec(label="again")], jobs=1, no_cache=True)[0]
+    assert rerun.sampling["ff_instructions_total"] == 0
+
+
+def test_sampling_matches_with_and_without_checkpoints(monkeypatch):
+    checkpointed = run_batch([_sampled_spec()], jobs=1, no_cache=True)[0]
+    monkeypatch.setenv("REPRO_NO_CHECKPOINT", "1")
+    scratch = run_batch([_sampled_spec()], jobs=1, no_cache=True)[0]
+    assert _identical(checkpointed, scratch)
+
+
+def test_no_sampling_env_normalizes_to_full_fidelity(monkeypatch):
+    plain = run_batch([spec_for("mediawiki", FAST, 1, "plain")], jobs=1)[0]
+    monkeypatch.setenv(sampling.NO_SAMPLING_ENV, "1")
+    stats = BatchStats()
+    gated = run_batch([_sampled_spec()], jobs=1, progress=stats)[0]
+    assert gated.sampling is None
+    assert gated.counters == plain.counters
+    # The normalized spec shares the plain run's cache entry.
+    assert stats.cache_hits == 1 and stats.simulated == 0
+
+
+def test_sampled_result_serialization_round_trip():
+    result = run_batch([_sampled_spec()], jobs=1, no_cache=True)[0]
+    clone = SimResult.from_dict(result.to_dict())
+    assert clone == result
+    assert clone.sampling == result.sampling
+
+
+@pytest.mark.slow
+def test_sampling_error_is_small_at_benchmark_scale():
+    # benchmarks/bench_sampling.py's headline row, as an executable accuracy
+    # gate.  Reduced regions are useless here: short intervals alias against
+    # program phases and the measured error swings 1-13% with tiny shape
+    # changes, so this runs the real 500k-instruction shape.  Deselected
+    # from tier-1 by the "not slow" default marker expression (run with:
+    # pytest -m slow tests/sim/test_sampling.py).
+    from repro.analysis.stats import ipc_sampling_error
+
+    config = baseline_config(max_instructions=500_000)
+    plain = run_batch(
+        [spec_for("mediawiki", config, 1, "full")], jobs=1, no_cache=True
+    )[0]
+    sampled = run_batch(
+        [
+            spec_for(
+                "mediawiki",
+                config.with_sampling(10, 4_000, 3_000),
+                1,
+                "sampled",
+            )
+        ],
+        jobs=1,
+        no_cache=True,
+    )[0]
+    assert ipc_sampling_error(sampled, plain) < 0.02
+    assert sampled.sampling["num_intervals"] == 10
+
+
+def test_sampled_results_cached_separately_from_plain(tmp_path, monkeypatch):
+    monkeypatch.setenv(engine.CACHE_DIR_ENV, str(tmp_path / "iso"))
+    cache = engine.ResultCache()
+    plain_spec = spec_for("mediawiki", FAST, 1, "plain")
+    run_batch([plain_spec], cache=cache)
+    run_batch([_sampled_spec()], cache=cache)
+    assert cache.info().entries == 2  # distinct keys: config includes sampling
+    warm = BatchStats()
+    run_batch([_sampled_spec()], cache=cache, progress=warm)
+    assert warm.cache_hits == 1 and warm.simulated == 0
