@@ -34,10 +34,12 @@ Layers (bottom-up):
 
 from repro.common.config import SimConfig, UDPConfig, UFTQConfig
 from repro.sim.engine import (
+    BatchError,
     BatchStats,
     ResultCache,
     RunEvent,
     RunSpec,
+    SpecFailure,
     default_cache,
     run_batch,
     set_default_progress,
@@ -68,10 +70,12 @@ from repro.workloads.synth import synthesize
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchError",
     "BatchStats",
     "ResultCache",
     "RunEvent",
     "RunSpec",
+    "SpecFailure",
     "default_cache",
     "run_batch",
     "set_default_progress",

@@ -15,9 +15,13 @@ Usage (after ``pip install -e .``)::
 
 Simulation-running commands accept engine knobs: ``--jobs N`` (worker
 processes; default ``REPRO_JOBS`` or all cores), ``--no-cache`` (bypass the
-on-disk result cache), and ``--progress`` (per-run progress lines on
-stderr).  A batch summary (runs / cache hits / simulator seconds) is always
-printed after the command.
+on-disk result cache), ``--progress`` (per-run progress lines on stderr),
+and the failure-handling trio ``--retries N`` / ``--unit-timeout S`` /
+``--on-failure {raise,fail-fast,keep-going}``.  A batch summary (runs /
+cache hits / simulator seconds / failures) is always printed after the
+command; a partially failed batch prints a per-spec failure table and
+exits non-zero (see docs/running_experiments.md, "Failure handling &
+fault injection").
 """
 
 from __future__ import annotations
@@ -55,6 +59,21 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="print one progress line per completed run to stderr",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per failed work unit (default: REPRO_RETRIES or 1)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="per-unit wall-clock budget in seconds "
+             "(default: REPRO_UNIT_TIMEOUT or unlimited)",
+    )
+    parser.add_argument(
+        "--on-failure", choices=engine.FAILURE_POLICIES, default=None,
+        help="what to do when a spec fails permanently: finish the rest then "
+             "error ('raise', default), abort immediately ('fail-fast'), or "
+             "report and continue ('keep-going')",
     )
 
 
@@ -99,22 +118,45 @@ def _sampling_summary(result) -> str | None:
     )
 
 
-def _install_engine_options(args) -> engine.BatchStats:
-    """Apply --jobs/--no-cache and install the progress callback.
+# The stats object of the command in flight, so the top-level BatchError
+# handler can still print the batch summary after a partial failure.
+_active_stats: engine.BatchStats | None = None
 
-    The knobs are exported as environment variables so every nested
-    ``run_batch`` call (wrappers, experiment drivers) picks them up.
+
+def _install_engine_options(args) -> engine.BatchStats:
+    """Apply the engine knobs and install the progress callback.
+
+    The knobs (``--jobs``, ``--no-cache``, ``--retries``,
+    ``--unit-timeout``, ``--on-failure``) are exported as environment
+    variables so every nested ``run_batch`` call (wrappers, experiment
+    drivers) picks them up.
     """
+    global _active_stats
     if getattr(args, "jobs", None) is not None:
         os.environ[engine.JOBS_ENV] = str(args.jobs)
     if getattr(args, "no_cache", False):
         os.environ[engine.NO_CACHE_ENV] = "1"
+    if getattr(args, "retries", None) is not None:
+        os.environ[engine.RETRIES_ENV] = str(args.retries)
+    if getattr(args, "unit_timeout", None) is not None:
+        os.environ[engine.UNIT_TIMEOUT_ENV] = str(args.unit_timeout)
+    if getattr(args, "on_failure", None) is not None:
+        os.environ[engine.FAILURE_POLICY_ENV] = args.on_failure
     stats = engine.BatchStats()
     verbose = getattr(args, "progress", False)
 
     def callback(event: engine.RunEvent) -> None:
         stats(event)
         if verbose:
+            if event.error is not None:
+                print(
+                    f"[{event.completed}/{event.total}] "
+                    f"{event.spec.workload}/{event.spec.label} FAILED "
+                    f"({event.failure_kind}, {event.attempts} attempt"
+                    f"{'s' if event.attempts != 1 else ''}): {event.error}",
+                    file=sys.stderr,
+                )
+                return
             if event.cached:
                 source = "cache hit"
             else:
@@ -132,12 +174,36 @@ def _install_engine_options(args) -> engine.BatchStats:
             )
 
     engine.set_default_progress(callback)
+    _active_stats = stats
     return stats
 
 
 def _print_engine_summary(stats: engine.BatchStats) -> None:
     if stats.runs:
         print(stats.summary(), file=sys.stderr)
+
+
+def _report_batch_failures(exc: engine.BatchError) -> None:
+    """One-line-per-spec failure table on stderr for a partial batch."""
+    print(
+        f"batch failed: {len(exc.failures)} of {exc.total} specs "
+        f"({exc.completed} completed)",
+        file=sys.stderr,
+    )
+    rows = [
+        [
+            f"{failure.workload}/{failure.label}",
+            failure.seed,
+            failure.kind,
+            failure.attempts,
+            failure.message,
+        ]
+        for failure in exc.failures
+    ]
+    print(
+        format_table(["spec", "seed", "kind", "attempts", "error"], rows),
+        file=sys.stderr,
+    )
 
 
 def cmd_list_workloads(_args) -> int:
@@ -161,6 +227,10 @@ def cmd_run(args) -> int:
         PRESET_BUILDERS[args.config](args.instructions), args
     )
     result = run_workload(args.workload, config, args.config, seed=args.seed)
+    if result is None:  # --on-failure keep-going and the single run failed
+        print(f"{args.workload} / {args.config}: FAILED", file=sys.stderr)
+        _print_engine_summary(stats)
+        return 1
     summary = result.summary()
     rows = [[key, f"{value:.4f}"] for key, value in summary.items()]
     print(format_table(["metric", "value"], rows,
@@ -193,12 +263,16 @@ def cmd_compare(args) -> int:
     runs = dict(zip(((s.workload, s.label) for s in specs), engine.run_batch(specs)))
     headers = ["workload"] + [f"{c} IPC" for c in configs]
     rows = []
+    failed = 0
     for workload in workloads:
         row: list[object] = [workload]
         base_ipc = None
         for config_name in configs:
             result = runs[(workload, config_name)]
-            if base_ipc is None:
+            if result is None:  # --on-failure keep-going left a hole
+                failed += 1
+                row.append("FAILED")
+            elif base_ipc is None:
                 base_ipc = result.ipc
                 row.append(f"{result.ipc:.3f}")
             else:
@@ -207,7 +281,7 @@ def cmd_compare(args) -> int:
         rows.append(row)
     print(format_table(headers, rows, title=f"{args.instructions} instructions/run"))
     _print_engine_summary(stats)
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_figure(args) -> int:
@@ -538,7 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except engine.BatchError as exc:
+        # A partial batch failure is an expected operational outcome:
+        # report it as a table plus the usual batch summary, not a
+        # traceback, and exit non-zero.
+        _report_batch_failures(exc)
+        if _active_stats is not None:
+            _print_engine_summary(_active_stats)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,15 @@ NO_CHECKPOINT_ENV = "REPRO_NO_CHECKPOINT"
 _TRUTHY = ("1", "true", "yes", "on")
 
 
+def env_truthy(name: str) -> bool:
+    """True when the environment variable ``name`` is set to a truthy value.
+
+    All boolean ``REPRO_*`` switches share this parse (``1``/``true``/
+    ``yes``/``on``, case-insensitive), so they behave identically.
+    """
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
 def cache_root() -> Path:
     """The active cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
     override = os.environ.get(CACHE_DIR_ENV, "").strip()
@@ -46,7 +55,7 @@ def cache_root() -> Path:
 
 def reuse_disabled() -> bool:
     """True when ``REPRO_NO_CHECKPOINT`` disables program/checkpoint reuse."""
-    return os.environ.get(NO_CHECKPOINT_ENV, "").strip().lower() in _TRUTHY
+    return env_truthy(NO_CHECKPOINT_ENV)
 
 
 @lru_cache(maxsize=1)

@@ -50,6 +50,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.common import faults
 from repro.common.artifacts import (
     NO_CHECKPOINT_ENV,
     atomic_write_bytes,
@@ -372,10 +373,15 @@ class CheckpointStore:
         blob = _BLOB_MEMO.get(memo_key)
         if blob is not None:
             _BLOB_MEMO.move_to_end(memo_key)
-            return blob
-        blob = read_bytes_or_none(self.path_for(key))
-        if blob is not None:
-            self._memoize(memo_key, blob)
+        else:
+            blob = read_bytes_or_none(self.path_for(key))
+            if blob is not None:
+                self._memoize(memo_key, blob)
+        if blob is not None and faults.corrupt_artifact("corrupt-checkpoint", key):
+            # Fault injection: serve garbage instead of the stored snapshot
+            # to drive the caller's corrupt-blob fallback.  The good blob
+            # stays memoized, so only this read is poisoned.
+            return b"\x00 injected-corrupt-checkpoint"
         return blob
 
     def put(self, key: str, blob: bytes) -> None:

@@ -53,21 +53,36 @@ stale entries automatically.
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 import json
 import os
+import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.common import faults
 from repro.common.artifacts import (
     CACHE_DIR_ENV,
     cache_root,
     canonical_key,
+    env_truthy,
     package_fingerprint,
 )
 from repro.common.config import SimConfig
+from repro.common.errors import ReproError
 from repro.sim import checkpoint as ckpt
 from repro.sim import sampling
 from repro.sim.metrics import SimResult
@@ -80,6 +95,13 @@ from repro.workloads.store import ProgramStore, get_program, program_for  # noqa
 
 JOBS_ENV = "REPRO_JOBS"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
+RETRIES_ENV = "REPRO_RETRIES"
+UNIT_TIMEOUT_ENV = "REPRO_UNIT_TIMEOUT"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+FAILURE_POLICY_ENV = "REPRO_FAILURE_POLICY"
+TIMEOUT_GRACE_ENV = "REPRO_TIMEOUT_GRACE"
+
+FAILURE_POLICIES = ("raise", "fail-fast", "keep-going")
 
 _CACHE_SCHEMA = 1
 
@@ -362,26 +384,210 @@ def _merge_interval_meta(metas: list[dict]) -> dict:
     }
 
 
-def _execute_sampled(spec: RunSpec) -> tuple[SimResult, float, dict]:
-    """Run every interval of a sampled spec in-process and merge the results.
+# ---------------------------------------------------------------------------
+# Work units: supervised execution, timeouts, failure records
+# ---------------------------------------------------------------------------
 
-    Intervals execute in index order, so each one's fast-forward restores
-    the previous interval's checkpoint and only walks one period — the
-    serial path pays the oracle walk for the measured region once, like a
-    plain run, not once per interval.
+
+class UnitTimeoutError(ReproError):
+    """A single work unit exceeded its ``REPRO_UNIT_TIMEOUT`` wall-clock."""
+
+
+class BatchError(ReproError, RuntimeError):
+    """One or more specs of a batch failed permanently.
+
+    Raised after the batch drains (policy ``"raise"``, the default) or as
+    soon as the first spec fails (``"fail-fast"``).  Carries the complete
+    picture instead of just the first worker exception:
+
+    * ``failures`` — one :class:`SpecFailure` per failed spec, spec order;
+    * ``results`` — the partial result list, ``None`` at failed indices;
+    * ``total`` / ``completed`` — batch size and successful-spec count.
     """
-    outcomes: list[IntervalOutcome] = []
-    metas: list[dict] = []
-    seconds = 0.0
-    for plan in sampling.plan_intervals(spec.config):
-        outcome, interval_seconds, meta = _execute_interval(spec, plan)
-        outcomes.append(outcome)
-        metas.append(meta)
-        seconds += interval_seconds
-    result = sampling.merge_intervals(
-        spec.workload, spec.label, spec.config, outcomes
-    )
-    return result, seconds, _merge_interval_meta(metas)
+
+    def __init__(
+        self,
+        failures: Sequence["SpecFailure"],
+        results: Sequence[SimResult | None],
+        total: int,
+    ):
+        self.failures = sorted(failures, key=lambda f: f.index)
+        self.results = list(results)
+        self.total = total
+        self.completed = sum(1 for r in self.results if r is not None)
+        first = self.failures[0]
+        message = (
+            f"{len(self.failures)} of {total} specs failed "
+            f"({self.completed} completed): "
+            f"{first.workload}/{first.label}: {first.message}"
+        )
+        extra = len(self.failures) - 1
+        if extra:
+            message += f"; {extra} more failure{'s' if extra > 1 else ''} attached"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """Structured record of one spec that failed permanently.
+
+    ``kind`` is ``"error"`` (the unit raised), ``"timeout"`` (it exceeded
+    the per-unit wall-clock budget), or ``"crash"`` (its worker process
+    died — the ``BrokenProcessPool`` shape).  ``attempts`` counts every
+    execution tried, retries included; ``interval`` is the failing
+    sampling interval (``-1`` for a full-fidelity run).
+    """
+
+    index: int
+    workload: str
+    label: str
+    seed: int
+    kind: str
+    message: str
+    attempts: int
+    interval: int = -1
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}/{self.label} (seed {self.seed}): "
+            f"[{self.kind}] {self.message} after {self.attempts} "
+            f"attempt{'s' if self.attempts != 1 else ''}"
+        )
+
+
+def resolve_retries(retries: int | None = None) -> int:
+    """Per-unit retry budget: explicit argument > ``REPRO_RETRIES`` > 1."""
+    source = "retries argument"
+    if retries is None:
+        env = os.environ.get(RETRIES_ENV, "").strip()
+        if not env:
+            return 1
+        source = f"{RETRIES_ENV}={env!r}"
+        try:
+            retries = int(env)
+        except ValueError:
+            raise ValueError(f"{source}: retry count must be an integer") from None
+    retries = int(retries)
+    if retries < 0:
+        raise ValueError(f"{source}: retry count must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_unit_timeout(timeout: float | None = None) -> float | None:
+    """Per-unit wall-clock budget in seconds, or ``None`` (no limit)."""
+    source = "unit_timeout argument"
+    if timeout is None:
+        env = os.environ.get(UNIT_TIMEOUT_ENV, "").strip()
+        if not env:
+            return None
+        source = f"{UNIT_TIMEOUT_ENV}={env!r}"
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise ValueError(f"{source}: timeout must be a number of seconds") from None
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise ValueError(f"{source}: timeout must be > 0 seconds, got {timeout}")
+    return timeout
+
+
+def resolve_failure_policy(policy: str | None = None) -> str:
+    """Failure policy: argument > ``REPRO_FAILURE_POLICY`` > ``"raise"``.
+
+    * ``"raise"`` — finish every other spec, then raise :class:`BatchError`;
+    * ``"fail-fast"`` — abort the batch at the first permanent failure;
+    * ``"keep-going"`` — never raise; failed specs yield ``None`` results.
+    """
+    if policy is None:
+        policy = os.environ.get(FAILURE_POLICY_ENV, "").strip() or "raise"
+    if policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"unknown failure policy {policy!r}; expected one of "
+            + ", ".join(FAILURE_POLICIES)
+        )
+    return policy
+
+
+def _retry_backoff() -> float:
+    """Base delay of the exponential retry backoff (seconds)."""
+    env = os.environ.get(RETRY_BACKOFF_ENV, "").strip()
+    if not env:
+        return 0.25
+    try:
+        backoff = float(env)
+    except ValueError:
+        return 0.25
+    return max(0.0, backoff)
+
+
+def _timeout_grace() -> float:
+    """Extra slack the parent-side timeout backstop grants a worker."""
+    env = os.environ.get(TIMEOUT_GRACE_ENV, "").strip()
+    if not env:
+        return 5.0
+    try:
+        return max(0.0, float(env))
+    except ValueError:
+        return 5.0
+
+
+def _unit_tokens(spec: RunSpec, interval: int) -> list[str]:
+    """The fault-injection tokens addressing one work unit."""
+    tokens = [spec.label, f"{spec.workload}/{spec.label}"]
+    if interval >= 0:
+        tokens += [
+            f"{spec.label}#{interval}",
+            f"{spec.workload}/{spec.label}#{interval}",
+        ]
+    return tokens
+
+
+@contextmanager
+def _unit_alarm(timeout: float | None):
+    """Bound a unit's wall-clock with ``SIGALRM`` (raises UnitTimeoutError).
+
+    Only armable from a main thread on platforms with ``SIGALRM`` (pool
+    workers always qualify; so does the serial path under normal use) —
+    elsewhere the timeout falls back to the parent-side backstop alone.
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise UnitTimeoutError(
+            f"unit exceeded the {timeout:g}s wall-clock timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_unit(
+    spec: RunSpec, plan: IntervalPlan | None, timeout: float | None
+) -> tuple:
+    """Execute one work unit under the fault-injection and timeout guards.
+
+    This is the single entry point both the serial loop and the pool
+    workers submit, so retry/timeout/fault semantics are identical on
+    every path.  ``plan`` is ``None`` for a full-fidelity run.
+    """
+    with _unit_alarm(timeout):
+        faults.fire_unit_faults(
+            _unit_tokens(spec, plan.index if plan is not None else -1)
+        )
+        if plan is None:
+            return _execute(spec)
+        return _execute_interval(spec, plan)
 
 
 # ---------------------------------------------------------------------------
@@ -548,20 +754,30 @@ def _cache_disabled_by_env() -> bool:
 
 @dataclass(frozen=True)
 class RunEvent:
-    """One completed run inside a batch (delivered to progress callbacks)."""
+    """One finished spec inside a batch (delivered to progress callbacks).
+
+    A spec that failed permanently is reported too: ``result`` is ``None``
+    and ``error``/``failure_kind`` carry the failure message and shape
+    (``"error"``/``"timeout"``/``"crash"``).  ``attempts`` counts every
+    execution tried, retries included (1 = first try succeeded).
+    """
 
     index: int  # position in the submitted spec list
     spec: RunSpec
-    result: SimResult
+    result: SimResult | None  # None when the spec failed permanently
     cached: bool  # served from the disk cache (no simulator invocation)
     seconds: float  # wall-clock for this run (lookup time on a hit)
-    completed: int  # runs finished so far in this batch
+    completed: int  # specs finished (succeeded or failed) so far
     total: int
     # Pre-measurement reuse (defaults describe a cache hit / legacy event):
     checkpoint: str = "none"  # "restored" | "created" | "off" | "none"
     program_source: str = "inline"  # "memo" | "disk" | "built" | "inline"
     warmup_seconds: float = 0.0  # restoring or re-creating the warmup
     intervals: int = 0  # sampling intervals merged into this result (0 = full)
+    # Failure reporting (None/defaults on success):
+    error: str | None = None  # permanent-failure message
+    failure_kind: str | None = None  # "error" | "timeout" | "crash"
+    attempts: int = 1  # executions tried, retries included
 
 
 ProgressCallback = Callable[[RunEvent], None]
@@ -587,7 +803,9 @@ class BatchStats:
     of a batch finishes with ``simulated == 0`` and ``cache_hits == runs``.
     ``checkpoint_restores``/``checkpoint_creates`` count warmup reuse among
     the simulated runs, and ``warmup_seconds`` is the wall-clock those runs
-    spent inside the warmup phase (restored or re-created).
+    spent inside the warmup phase (restored or re-created).  Failed specs
+    are counted (``failed``) and kept (``failures``, one event per spec),
+    and ``retried`` totals the extra attempts the batch spent on recovery.
     """
 
     def __init__(self) -> None:
@@ -599,10 +817,17 @@ class BatchStats:
         self.checkpoint_creates = 0
         self.warmup_seconds = 0.0
         self.intervals = 0
+        self.failed = 0
+        self.failures: list[RunEvent] = []
+        self.retried = 0
 
     def __call__(self, event: RunEvent) -> None:
         self.runs += 1
-        if event.cached:
+        self.retried += max(0, event.attempts - 1)
+        if event.error is not None:
+            self.failed += 1
+            self.failures.append(event)
+        elif event.cached:
             self.cache_hits += 1
         else:
             self.simulated += 1
@@ -626,6 +851,15 @@ class BatchStats:
             )
         if self.intervals:
             text += f", {self.intervals} sampled intervals"
+        if self.retried:
+            text += f", {self.retried} retr{'ies' if self.retried != 1 else 'y'}"
+        if self.failed:
+            kinds = sorted(
+                {e.failure_kind for e in self.failures if e.failure_kind}
+            )
+            text += f", {self.failed} FAILED"
+            if kinds:
+                text += f" ({'/'.join(kinds)})"
         return text
 
 
@@ -635,17 +869,37 @@ class BatchStats:
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit argument > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    """Worker count: explicit argument > ``REPRO_JOBS`` > ``os.cpu_count()``.
+
+    A non-positive or non-numeric worker count is rejected with a clear
+    ``ValueError`` naming its source — ``REPRO_JOBS=0`` must not reach
+    ``ProcessPoolExecutor``, whose own error would not say where the
+    nonsense value came from.
+    """
+    source = "jobs argument"
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                jobs = None
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-    return max(1, int(jobs))
+        if not env:
+            return os.cpu_count() or 1
+        source = f"{JOBS_ENV}={env!r}"
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"{source}: worker count must be an integer") from None
+    jobs = int(jobs)
+    if jobs <= 0:
+        raise ValueError(f"{source}: worker count must be >= 1, got {jobs}")
+    return jobs
+
+
+def _terminate_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's worker processes (hung-worker backstop)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
 
 
 def run_batch(
@@ -655,6 +909,9 @@ def run_batch(
     cache: ResultCache | None = None,
     no_cache: bool = False,
     progress: ProgressCallback | None = None,
+    retries: int | None = None,
+    unit_timeout: float | None = None,
+    on_failure: str | None = None,
 ) -> list[SimResult]:
     """Execute a batch of :class:`RunSpec` and return results in spec order.
 
@@ -667,6 +924,23 @@ def run_batch(
     its followers are submitted the moment the leader finishes (their
     restore then hits the leader's freshly written snapshot).  Completion
     order never affects the returned order.
+
+    **Failure handling** (identical semantics on the serial and pool
+    paths): each work unit gets ``1 + retries`` executions
+    (``retries`` argument > ``REPRO_RETRIES`` > 1) with exponential
+    backoff (``REPRO_RETRY_BACKOFF`` base seconds) between attempts, and
+    an optional per-unit wall-clock budget (``unit_timeout`` argument >
+    ``REPRO_UNIT_TIMEOUT``), enforced inside the unit via ``SIGALRM`` with
+    a parent-side terminate-and-rebuild backstop for hard-hung workers.  A
+    worker process dying (OOM kill, segfault) breaks the pool: the engine
+    rebuilds it, re-runs the in-flight units one at a time to attribute
+    the crash (only the confirmed culprit consumes retry attempts), and
+    resumes.  What happens after a unit exhausts its attempts is the
+    ``on_failure`` policy (argument > ``REPRO_FAILURE_POLICY``):
+    ``"raise"`` (default) finishes every other spec then raises
+    :class:`BatchError` carrying all :class:`SpecFailure` records and the
+    partial results; ``"fail-fast"`` aborts immediately; ``"keep-going"``
+    returns the partial result list with ``None`` at failed indices.
     """
     spec_list = list(specs)
     if sampling.sampling_disabled():
@@ -680,6 +954,10 @@ def run_batch(
         ]
     total = len(spec_list)
     callback = progress if progress is not None else _default_progress
+    retries = resolve_retries(retries)
+    unit_timeout = resolve_unit_timeout(unit_timeout)
+    policy = resolve_failure_policy(on_failure)
+    backoff = _retry_backoff()
 
     if no_cache or _cache_disabled_by_env():
         active_cache: ResultCache | None = None
@@ -713,7 +991,13 @@ def run_batch(
                 )
             )
 
-    def finish(index: int, result: SimResult, seconds: float, meta: dict) -> None:
+    failures: list[SpecFailure] = []
+    failed_specs: set[int] = set()
+    spec_extra_attempts: dict[int, int] = {}
+
+    def finish(
+        index: int, result: SimResult, seconds: float, meta: dict
+    ) -> None:
         nonlocal completed
         if active_cache is not None:
             active_cache.put(spec_list[index], result)
@@ -733,8 +1017,104 @@ def run_batch(
                     program_source=meta.get("program_source", "inline"),
                     warmup_seconds=meta.get("warmup_seconds", 0.0),
                     intervals=meta.get("intervals", 0),
+                    attempts=1 + spec_extra_attempts.get(index, 0),
                 )
             )
+
+    def fail(failure: SpecFailure) -> None:
+        """Record a permanent spec failure (and abort under fail-fast)."""
+        nonlocal completed
+        failed_specs.add(failure.index)
+        failures.append(failure)
+        completed += 1
+        if callback is not None:
+            callback(
+                RunEvent(
+                    index=failure.index,
+                    spec=spec_list[failure.index],
+                    result=None,
+                    cached=False,
+                    seconds=0.0,
+                    completed=completed,
+                    total=total,
+                    error=failure.message,
+                    failure_kind=failure.kind,
+                    attempts=failure.attempts,
+                )
+            )
+        if policy == "fail-fast":
+            raise BatchError(failures, results, total)
+
+    def failure_for(
+        unit: tuple[int, int], kind: str, message: str, attempts: int
+    ) -> SpecFailure:
+        spec = spec_list[unit[0]]
+        return SpecFailure(
+            index=unit[0],
+            workload=spec.workload,
+            label=spec.label,
+            seed=spec.seed,
+            kind=kind,
+            message=message,
+            attempts=attempts,
+            interval=unit[1],
+        )
+
+    # Work units are (spec index, interval index); full-fidelity specs are a
+    # single unit with interval -1.  Both execution paths iterate the same
+    # unit list, so retry/timeout/fault semantics (and therefore results)
+    # are identical serial and pooled.
+    units: list[tuple[int, int]] = []
+    plans_by_index: dict[int, list[IntervalPlan]] = {}
+    for index in pending:
+        spec = spec_list[index]
+        if spec.config.sampling.enabled:
+            plans = sampling.plan_intervals(spec.config)
+            plans_by_index[index] = plans
+            units.extend((index, plan.index) for plan in plans)
+        else:
+            units.append((index, -1))
+
+    def plan_for(unit: tuple[int, int]) -> IntervalPlan | None:
+        index, interval = unit
+        return plans_by_index[index][interval] if interval >= 0 else None
+
+    interval_payloads: dict[int, list[tuple[IntervalOutcome, float, dict]]] = {}
+
+    def deliver(unit: tuple[int, int], payload: tuple, attempts_used: int) -> None:
+        """Fold one successful unit payload into its spec's result."""
+        index, interval = unit
+        if index in failed_specs:
+            return  # a sibling interval already failed the spec
+        spec_extra_attempts[index] = (
+            spec_extra_attempts.get(index, 0) + attempts_used
+        )
+        if interval < 0:
+            result, seconds, meta = payload
+            finish(index, result, seconds, meta)
+            return
+        bucket = interval_payloads.setdefault(index, [])
+        bucket.append(payload)
+        if len(bucket) == len(plans_by_index[index]):
+            bucket.sort(key=lambda p: p[0].index)
+            merged = sampling.merge_intervals(
+                spec_list[index].workload,
+                spec_list[index].label,
+                spec_list[index].config,
+                [p[0] for p in bucket],
+            )
+            finish(
+                index,
+                merged,
+                sum(p[1] for p in bucket),
+                _merge_interval_meta([p[2] for p in bucket]),
+            )
+            del interval_payloads[index]
+
+    def classify(exc: BaseException) -> tuple[str, str]:
+        if isinstance(exc, UnitTimeoutError):
+            return "timeout", str(exc)
+        return "error", f"{type(exc).__name__}: {exc}"
 
     if pending and ckpt.checkpointing_enabled():
         # Build every distinct program once in the parent: forked workers
@@ -750,39 +1130,108 @@ def run_batch(
 
     workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
     if workers <= 1:
-        # Serial path needs no scheduling: the first spec of each checkpoint
-        # group creates the snapshot, later ones restore it via _execute,
-        # and sampled specs chain their intervals inside _execute_sampled.
-        for index in pending:
+        # Serial path needs no claim scheduling: units run in order, so the
+        # first unit of each checkpoint group creates the snapshot, later
+        # ones restore it, and a sampled spec's intervals chain (each
+        # fast-forward restores the previous interval's checkpoint).
+        for unit in units:
+            index, interval = unit
+            if index in failed_specs:
+                continue
             spec = spec_list[index]
-            if spec.config.sampling.enabled:
-                result, seconds, meta = _execute_sampled(spec)
-            else:
-                result, seconds, meta = _execute(spec)
-            finish(index, result, seconds, meta)
-        return results  # type: ignore[return-value]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    payload = _run_unit(spec, plan_for(unit), unit_timeout)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    kind, message = classify(exc)
+                    if attempts <= retries:
+                        if backoff > 0:
+                            time.sleep(backoff * (2 ** (attempts - 1)))
+                        continue
+                    fail(failure_for(unit, kind, message, attempts))
+                    break
+                deliver(unit, payload, attempts - 1)
+                break
+    else:
+        _run_pool(
+            spec_list=spec_list,
+            units=units,
+            plan_for=plan_for,
+            deliver=deliver,
+            fail=fail,
+            failure_for=failure_for,
+            classify=classify,
+            failed_specs=failed_specs,
+            workers=workers,
+            retries=retries,
+            unit_timeout=unit_timeout,
+            backoff=backoff,
+        )
 
-    # -- pool path ----------------------------------------------------------
-    # Work units are (spec index, interval index); full-fidelity specs are a
-    # single unit with interval -1.  Each unit lists the checkpoint keys it
-    # would create if missing, in creation order (warmup first, then its own
-    # interval key).  A unit claims each missing key it reaches; hitting a
-    # key claimed by another unit parks it there until that unit completes,
-    # so every missing checkpoint is created exactly once instead of racing
-    # in every worker.  Claim order (warmup before interval) makes the
-    # wait-for chains acyclic: a unit parked on an interval key always waits
-    # on a *running* unit, never on another parked one.
-    units: list[tuple[int, int]] = []
-    plans_by_index: dict[int, list[IntervalPlan]] = {}
-    for index in pending:
-        spec = spec_list[index]
-        if spec.config.sampling.enabled:
-            plans = sampling.plan_intervals(spec.config)
-            plans_by_index[index] = plans
-            units.extend((index, plan.index) for plan in plans)
-        else:
-            units.append((index, -1))
+    # Defensive: a scheduler bug must surface as a failure record, never as
+    # a silent ``None`` in the returned results.
+    for index in pending:  # pragma: no cover - invariant violation
+        if results[index] is None and index not in failed_specs:
+            fail(
+                failure_for(
+                    (index, -1),
+                    "error",
+                    "internal scheduler error: spec never completed",
+                    1,
+                )
+            )
 
+    if failures:
+        failures.sort(key=lambda f: (f.index, f.interval))
+        if policy != "keep-going":
+            raise BatchError(failures, results, total)
+    return results  # type: ignore[return-value]
+
+
+def _run_pool(
+    *,
+    spec_list: list[RunSpec],
+    units: list[tuple[int, int]],
+    plan_for: Callable,
+    deliver: Callable,
+    fail: Callable,
+    failure_for: Callable,
+    classify: Callable,
+    failed_specs: set[int],
+    workers: int,
+    retries: int,
+    unit_timeout: float | None,
+    backoff: float,
+) -> None:
+    """Supervised pool execution of a batch's work units.
+
+    Responsibilities beyond plain fan-out:
+
+    * **Checkpoint-claim scheduling** — each unit lists the checkpoint
+      keys it would create if missing, in creation order (warmup first,
+      then its own interval key).  A unit claims each missing key it
+      reaches; hitting a key claimed by another unit parks it there until
+      that unit completes, so every missing checkpoint is created exactly
+      once instead of racing in every worker.  Claim order (warmup before
+      interval) keeps the wait-for chains acyclic.
+    * **Retry with backoff** — a unit that raises is rescheduled (keeping
+      its claims) until its ``1 + retries`` attempt budget is spent, then
+      recorded as a permanent failure and its claims released so parked
+      followers re-run as leaders (no deadlock, no lost results).
+    * **Broken-pool recovery** — a dying worker breaks the whole
+      executor, failing *every* in-flight future.  The supervisor
+      rebuilds the pool and re-runs the affected units one at a time
+      (quarantine): a unit that breaks the pool while running alone is
+      the confirmed culprit and consumes an attempt; innocent bystanders
+      are re-run free of charge.
+    * **Timeout backstop** — with a unit timeout configured, a worker
+      that blows well past it (``2x + REPRO_TIMEOUT_GRACE``; a hard hang
+      the in-worker ``SIGALRM`` could not interrupt) is terminated from
+      the parent, the timeout charged to the overdue unit, and the pool
+      rebuilt.
+    """
     store = ckpt.CheckpointStore()
     create_keys: dict[tuple[int, int], list[str]] = {}
     for index, interval in units:
@@ -791,12 +1240,8 @@ def run_batch(
         warmup_key = _checkpoint_key_for(spec)
         if warmup_key is not None:
             keys.append(warmup_key)
-        if (
-            interval >= 0
-            and spec.cacheable
-            and ckpt.checkpointing_enabled()
-        ):
-            plan = plans_by_index[index][interval]
+        if interval >= 0 and spec.cacheable and ckpt.checkpointing_enabled():
+            plan = plan_for((index, interval))
             if plan.ff_instructions > 0:
                 program_key = ProgramStore().key_for(spec.workload, spec.seed)
                 keys.append(
@@ -809,78 +1254,222 @@ def run_batch(
     claimed: dict[str, tuple[int, int]] = {}
     parked: dict[str, list[tuple[int, int]]] = {}
     waiting: dict = {}
-    interval_payloads: dict[int, list[tuple[IntervalOutcome, float, dict]]] = {}
-    first_error: BaseException | None = None
+    deadlines: dict = {}
+    unit_attempts: dict[tuple[int, int], int] = {}  # failed attempts so far
+    pending_submit: deque[tuple[int, int]] = deque(units)
+    retry_heap: list[tuple[float, int, tuple[int, int]]] = []
+    quarantine: deque[tuple[int, int]] = deque()
+    sequence = itertools.count()
+    grace = _timeout_grace()
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=faults.mark_worker
+        )
 
-        def try_submit(unit: tuple[int, int]) -> None:
-            index, interval = unit
-            for key in create_keys[unit]:
-                if store.exists(key):
-                    continue
-                owner = claimed.get(key)
-                if owner is None:
-                    claimed[key] = unit
-                elif owner != unit:
-                    parked.setdefault(key, []).append(unit)
-                    return
-            spec = spec_list[index]
-            if interval < 0:
-                future = pool.submit(_execute, spec)
+    pool = make_pool()
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken executors may refuse
+            pass
+        pool = make_pool()
+
+    def release(unit: tuple[int, int]) -> list[tuple[int, int]]:
+        freed: list[tuple[int, int]] = []
+        for key in create_keys[unit]:
+            if claimed.get(key) == unit:
+                del claimed[key]
+                freed.extend(parked.pop(key, ()))
+        return freed
+
+    def submit(unit: tuple[int, int]) -> None:
+        """Hand a claim-cleared unit to the pool."""
+        index, _ = unit
+        future = pool.submit(
+            _run_unit, spec_list[index], plan_for(unit), unit_timeout
+        )
+        waiting[future] = unit
+        if unit_timeout is not None:
+            deadlines[future] = time.monotonic() + unit_timeout * 2 + grace
+
+    def try_submit(unit: tuple[int, int]) -> None:
+        """Walk the unit's checkpoint claims, then submit or park it."""
+        index, _ = unit
+        if index in failed_specs:
+            pending_submit.extend(release(unit))
+            return
+        for key in create_keys[unit]:
+            if store.exists(key):
+                continue
+            owner = claimed.get(key)
+            if owner is None:
+                claimed[key] = unit
+            elif owner != unit:
+                parked.setdefault(key, []).append(unit)
+                return
+        submit(unit)
+
+    def attempt_failed(unit: tuple[int, int], kind: str, message: str) -> None:
+        """One failed execution: schedule a retry or record the failure."""
+        index, _ = unit
+        if index in failed_specs:
+            pending_submit.extend(release(unit))
+            return
+        failed_count = unit_attempts.get(unit, 0) + 1
+        unit_attempts[unit] = failed_count
+        if failed_count <= retries:
+            delay = backoff * (2 ** (failed_count - 1)) if backoff > 0 else 0.0
+            heapq.heappush(
+                retry_heap, (time.monotonic() + delay, next(sequence), unit)
+            )
+        else:
+            pending_submit.extend(release(unit))
+            fail(failure_for(unit, kind, message, failed_count))
+
+    def succeeded(unit: tuple[int, int], payload: tuple) -> None:
+        deliver(unit, payload, unit_attempts.pop(unit, 0))
+        pending_submit.extend(release(unit))
+
+    def settle(unit: tuple[int, int], future) -> bool:
+        """Resolve one completed future; True if it broke the pool."""
+        try:
+            payload = future.result(timeout=30)
+        except BrokenExecutor:
+            return True
+        except CancelledError:
+            pending_submit.append(unit)  # engine-initiated, not unit's fault
+        except TimeoutError:
+            # The manager thread never resolved the future (it should
+            # within moments of a break) — treat like a pool casualty.
+            return True
+        except Exception as exc:  # noqa: BLE001 - classified below
+            kind, message = classify(exc)
+            attempt_failed(unit, kind, message)
+        else:
+            succeeded(unit, payload)
+        return False
+
+    def recover_broken_pool(first_unit: tuple[int, int]) -> None:
+        """A worker died: quarantine in-flight units and rebuild the pool.
+
+        If the break happened while a quarantined unit ran *alone*, that
+        unit is the confirmed culprit: the crash consumes one of its
+        attempts, and once the budget is gone it becomes a permanent
+        ``"crash"`` failure.  A break during normal parallel operation
+        cannot be attributed, so every in-flight unit goes to quarantine
+        to be re-run solo — at no cost to their retry budgets.
+        """
+        casualties = [first_unit]
+        for future, unit in list(waiting.items()):
+            del waiting[future]
+            deadlines.pop(future, None)
+            if settle(unit, future):
+                casualties.append(unit)
+        if quarantine and casualties == [quarantine[0]]:
+            culprit = quarantine[0]
+            failed_count = unit_attempts.get(culprit, 0) + 1
+            unit_attempts[culprit] = failed_count
+            if failed_count > retries or culprit[0] in failed_specs:
+                quarantine.popleft()
+                pending_submit.extend(release(culprit))
+                if culprit[0] not in failed_specs:
+                    fail(
+                        failure_for(
+                            culprit,
+                            "crash",
+                            "worker process died while running this unit",
+                            failed_count,
+                        )
+                    )
+            # else: the culprit stays at the quarantine front for a solo
+            # retry against the rebuilt pool.
+        else:
+            quarantine.extend(casualties)
+        rebuild_pool()
+
+    def enforce_deadlines() -> bool:
+        """Terminate hard-hung workers past the parent-side backstop."""
+        now = time.monotonic()
+        overdue = [f for f, deadline in deadlines.items() if deadline <= now]
+        if not overdue:
+            return False
+        for future in overdue:
+            unit = waiting.pop(future)
+            deadlines.pop(future)
+            if quarantine and quarantine[0] == unit:
+                quarantine.popleft()
+            attempt_failed(
+                unit,
+                "timeout",
+                f"unit exceeded {unit_timeout:g}s and its worker was "
+                "unresponsive (terminated)",
+            )
+        # The hung workers only die with the whole pool; survivors are
+        # drained (their completed results are kept, interrupted ones
+        # resubmitted free of charge) and the pool rebuilt.
+        _terminate_pool_processes(pool)
+        for future, unit in list(waiting.items()):
+            del waiting[future]
+            deadlines.pop(future, None)
+            if settle(unit, future):
+                pending_submit.append(unit)
+        rebuild_pool()
+        return True
+
+    try:
+        while True:
+            if quarantine:
+                # Solo re-runs: exactly one quarantined unit in flight.
+                if not waiting:
+                    head = quarantine[0]
+                    if head[0] in failed_specs:
+                        quarantine.popleft()
+                        pending_submit.extend(release(head))
+                        continue
+                    submit(head)
             else:
-                future = pool.submit(
-                    _execute_interval, spec, plans_by_index[index][interval]
-                )
-            waiting[future] = unit
-
-        def release(unit: tuple[int, int]) -> list[tuple[int, int]]:
-            freed: list[tuple[int, int]] = []
-            for key in create_keys[unit]:
-                if claimed.get(key) == unit:
-                    del claimed[key]
-                    freed.extend(parked.pop(key, ()))
-            return freed
-
-        for unit in units:
-            try_submit(unit)
-        while waiting:
-            done, _ = wait(waiting, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, unit = heapq.heappop(retry_heap)
+                    try_submit(unit)
+                while pending_submit and len(waiting) < workers:
+                    try_submit(pending_submit.popleft())
+            if not (waiting or pending_submit or retry_heap or quarantine):
+                break
+            if not waiting:
+                if retry_heap and not quarantine:
+                    # Nothing in flight; sleep until the next retry is due.
+                    time.sleep(
+                        max(0.0, min(retry_heap[0][0] - time.monotonic(), 0.5))
+                    )
+                continue
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            if retry_heap and not quarantine:
+                due = max(0.0, retry_heap[0][0] - time.monotonic())
+                timeout = due if timeout is None else min(timeout, due)
+            done, _ = wait(waiting, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                enforce_deadlines()  # woke for a deadline or a due retry
+                continue
+            broke_for: tuple[int, int] | None = None
             for future in done:
                 unit = waiting.pop(future)
-                index, interval = unit
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    # Defer the failure until the pool drains: parked units
-                    # must still run (falling back to creating the state the
-                    # failed unit claimed), otherwise they would deadlock.
-                    if first_error is None:
-                        first_error = exc
-                else:
-                    if interval < 0:
-                        result, seconds, meta = payload
-                        finish(index, result, seconds, meta)
-                    else:
-                        bucket = interval_payloads.setdefault(index, [])
-                        bucket.append(payload)
-                        if len(bucket) == len(plans_by_index[index]):
-                            bucket.sort(key=lambda p: p[0].index)
-                            merged = sampling.merge_intervals(
-                                spec_list[index].workload,
-                                spec_list[index].label,
-                                spec_list[index].config,
-                                [p[0] for p in bucket],
-                            )
-                            finish(
-                                index,
-                                merged,
-                                sum(p[1] for p in bucket),
-                                _merge_interval_meta([p[2] for p in bucket]),
-                            )
-                for follower in release(unit):
-                    try_submit(follower)
-    if first_error is not None:
-        raise first_error
-
-    return results  # type: ignore[return-value]
+                deadlines.pop(future, None)
+                if settle(unit, future):
+                    broke_for = unit
+                    break
+                if quarantine and quarantine[0] == unit:
+                    quarantine.popleft()
+            if broke_for is not None:
+                recover_broken_pool(broke_for)
+    finally:
+        if waiting:
+            # Abnormal exit (fail-fast or an unexpected error): don't leave
+            # workers grinding on a batch nobody will collect.
+            _terminate_pool_processes(pool)
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -32,6 +32,7 @@ import dataclasses
 import pickle
 from pathlib import Path
 
+from repro.common import faults
 from repro.common.artifacts import (
     atomic_write_bytes,
     cache_root,
@@ -90,6 +91,10 @@ class ProgramStore:
         blob = read_bytes_or_none(self.path_for(workload, seed))
         if blob is None:
             return None
+        if faults.corrupt_artifact("corrupt-program", workload):
+            # Fault injection: pretend the stored pickle is corrupt so the
+            # rebuild-and-rewrite fallback below is exercised end-to-end.
+            blob = b"injected-corrupt-program"
         try:
             program = pickle.loads(blob)
         except Exception:  # noqa: BLE001 - any unpickling failure is a miss

@@ -51,9 +51,20 @@ def test_runspec_is_frozen():
 def test_resolve_jobs_env_and_override(monkeypatch):
     assert engine.resolve_jobs() == 2  # from REPRO_JOBS in the fixture
     assert engine.resolve_jobs(5) == 5
-    assert engine.resolve_jobs(0) == 1
+    # Nonsense worker counts must be rejected loudly, naming their source,
+    # instead of reaching ProcessPoolExecutor.
+    with pytest.raises(ValueError, match="jobs argument"):
+        engine.resolve_jobs(0)
+    with pytest.raises(ValueError, match="must be >= 1"):
+        engine.resolve_jobs(-3)
+    monkeypatch.setenv(engine.JOBS_ENV, "0")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        engine.resolve_jobs()
     monkeypatch.setenv(engine.JOBS_ENV, "not-a-number")
-    assert engine.resolve_jobs() >= 1
+    with pytest.raises(ValueError, match="must be an integer"):
+        engine.resolve_jobs()
+    monkeypatch.setenv(engine.JOBS_ENV, "")
+    assert engine.resolve_jobs() >= 1  # empty env falls back to cpu_count
 
 
 def test_pool_matches_in_process_byte_identical():
@@ -268,7 +279,7 @@ def test_pool_leader_failure_releases_followers(monkeypatch):
     # All three specs share one warmup checkpoint key; the first submitted
     # unit claims it (the leader) and dies before the checkpoint lands.  The
     # parked followers must be released to create the state themselves — the
-    # batch raises the injected error only after the pool drains, with every
+    # batch raises BatchError only after the pool drains, with every
     # surviving spec finished (no deadlock, no lost results).
     monkeypatch.setattr(engine, "_execute", _exploding_execute)
     specs = [
@@ -277,10 +288,19 @@ def test_pool_leader_failure_releases_followers(monkeypatch):
         spec_for("mediawiki", FAST.with_ftq_depth(16), 1, "ftq16"),
     ]
     events = []
-    with pytest.raises(RuntimeError, match="injected leader failure"):
-        run_batch(specs, jobs=2, no_cache=True, progress=events.append)
-    assert {e.spec.label for e in events} == {"ftq32", "ftq16"}
-    assert all(not e.cached and e.result.ipc > 0 for e in events)
+    with pytest.raises(engine.BatchError, match="injected leader failure") as info:
+        run_batch(
+            specs, jobs=2, no_cache=True, progress=events.append, retries=0
+        )
+    assert [f.label for f in info.value.failures] == ["boom"]
+    assert info.value.failures[0].kind == "error"
+    assert info.value.completed == 2
+    survivors = [e for e in events if e.error is None]
+    assert {e.spec.label for e in survivors} == {"ftq32", "ftq16"}
+    assert all(not e.cached and e.result.ipc > 0 for e in survivors)
+    failed = [e for e in events if e.error is not None]
+    assert [e.spec.label for e in failed] == ["boom"]
+    assert failed[0].result is None and failed[0].failure_kind == "error"
 
 
 def test_cache_clear_accepts_class_filter(tmp_path, monkeypatch):
