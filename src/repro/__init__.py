@@ -32,7 +32,7 @@ Layers (bottom-up):
 * :mod:`repro.analysis` — one experiment function per paper figure/table
 """
 
-from repro.common.config import SimConfig, UDPConfig, UFTQConfig
+from repro.common.config import SimConfig, TechniqueConfig, UDPConfig, UFTQConfig
 from repro.sim.engine import (
     BatchError,
     BatchStats,
@@ -51,8 +51,10 @@ from repro.sim.presets import (
     bigger_icache_config,
     eip_config,
     infinite_storage_config,
+    mana_config,
     opt_config,
     perfect_icache_config,
+    shadow_btb_config,
     udp_config,
     uftq_config,
 )
@@ -81,6 +83,7 @@ __all__ = [
     "set_default_progress",
     "spec_for",
     "SimConfig",
+    "TechniqueConfig",
     "UDPConfig",
     "UFTQConfig",
     "SimResult",
@@ -90,8 +93,10 @@ __all__ = [
     "bigger_icache_config",
     "eip_config",
     "infinite_storage_config",
+    "mana_config",
     "opt_config",
     "perfect_icache_config",
+    "shadow_btb_config",
     "udp_config",
     "uftq_config",
     "optimal_ftq_depth",

@@ -30,7 +30,9 @@ from repro.sim.presets import (
     bigger_icache_config,
     eip_config,
     infinite_storage_config,
+    mana_config,
     perfect_icache_config,
+    shadow_btb_config,
     udp_config,
     uftq_config,
 )
@@ -348,13 +350,19 @@ def fig12_uftq_mpki(fig11: dict) -> dict:
 def fig13_udp_speedup(
     workloads: list[str] | None = None, instructions: int = 25_000, seed: int = 1
 ) -> dict:
-    """UDP / Infinite-storage / 40K icache / EIP-8KB speedups (Fig 13)."""
+    """UDP / Infinite / 40K icache / EIP / MANA / shadow-BTB speedups (Fig 13).
+
+    The paper's Fig 13 grid plus the two registry-provided related-work
+    rivals: MANA at the same ISO 8KB budget and shadow-branch BTB prefill.
+    """
     names = _workloads(workloads)
     configs: dict[str, SimConfig] = {
         "udp": udp_config(instructions, seed),
         "infinite": infinite_storage_config(instructions, seed),
         "icache-40k": bigger_icache_config(instructions, seed),
         "eip-8k": eip_config(instructions, seed),
+        "mana-8k": mana_config(instructions, seed),
+        "shadow-btb": shadow_btb_config(instructions, seed),
     }
     specs = [
         spec_for(name, config, seed, cname)
@@ -382,7 +390,10 @@ def fig13_udp_speedup(
         "speedups": speedups,
         "geomeans": {c: pct(geomean(list(v.values()))) for c, v in speedups.items()},
         "table": format_table(
-            ["workload", "UDP %", "Infinite %", "40K L1I %", "EIP-8KB %"],
+            [
+                "workload", "UDP %", "Infinite %", "40K L1I %",
+                "EIP-8KB %", "MANA-8KB %", "ShadowBTB %",
+            ],
             rows,
             title="Fig 13: UDP IPC speedups over the fixed-32 baseline",
         ),
@@ -393,7 +404,10 @@ def fig14_udp_mpki(fig13: dict) -> dict:
     """Icache MPKI of the Fig 13 techniques (Fig 14)."""
     rows = []
     mpki: dict[str, dict[str, float]] = {}
-    order = ("baseline", "udp", "infinite", "icache-40k", "eip-8k")
+    order = (
+        "baseline", "udp", "infinite", "icache-40k", "eip-8k",
+        "mana-8k", "shadow-btb",
+    )
     for name, per_config in fig13["results"].items():
         mpki[name] = {c: per_config[c].icache_mpki for c in order}
         rows.append([name] + [per_config[c].icache_mpki for c in order])
@@ -401,7 +415,7 @@ def fig14_udp_mpki(fig13: dict) -> dict:
         "experiment": "fig14",
         "mpki": mpki,
         "table": format_table(
-            ["workload", "base", "UDP", "Inf", "40K", "EIP"],
+            ["workload", "base", "UDP", "Inf", "40K", "EIP", "MANA", "ShBTB"],
             rows,
             title="Fig 14: icache MPKI of UDP and comparators",
         ),
@@ -412,7 +426,10 @@ def fig15_lost_instructions(fig13: dict) -> dict:
     """Fetch slots lost to icache stalls, per kilo-instruction (Fig 15)."""
     rows = []
     lost: dict[str, dict[str, float]] = {}
-    order = ("baseline", "udp", "infinite", "icache-40k", "eip-8k")
+    order = (
+        "baseline", "udp", "infinite", "icache-40k", "eip-8k",
+        "mana-8k", "shadow-btb",
+    )
     for name, per_config in fig13["results"].items():
         lost[name] = {
             c: per_config[c].instructions_lost_icache
@@ -424,7 +441,7 @@ def fig15_lost_instructions(fig13: dict) -> dict:
         "experiment": "fig15",
         "lost_per_kinstr": lost,
         "table": format_table(
-            ["workload", "base", "UDP", "Inf", "40K", "EIP"],
+            ["workload", "base", "UDP", "Inf", "40K", "EIP", "MANA", "ShBTB"],
             rows,
             title="Fig 15: instruction slots lost to icache misses (per kinstr)",
         ),

@@ -221,6 +221,40 @@ def cmd_list_configs(_args) -> int:
     return 0
 
 
+def cmd_techniques(args) -> int:
+    """``repro techniques list``: the registry, straight from the source."""
+    import dataclasses
+
+    from repro.prefetchers import registry
+
+    if args.action != "list":
+        print(f"unknown techniques action {args.action!r}", file=sys.stderr)
+        return 2
+    rows = []
+    for technique in registry.techniques():
+        params = technique.params_cls()
+        knobs = ", ".join(
+            f"{f.name}={getattr(params, f.name)!r}"
+            for f in dataclasses.fields(technique.params_cls)
+        )
+        rows.append(
+            [
+                technique.name,
+                technique.capabilities.describe(),
+                knobs or "-",
+                technique.summary,
+            ]
+        )
+    print(
+        format_table(
+            ["technique", "capabilities", "params (defaults)", "summary"],
+            rows,
+            title=f"{len(rows)} registered prefetch techniques",
+        )
+    )
+    return 0
+
+
 def cmd_run(args) -> int:
     stats = _install_engine_options(args)
     config = _apply_sampling_args(
@@ -249,12 +283,34 @@ def cmd_compare(args) -> int:
     stats = _install_engine_options(args)
     workloads = _parse_workloads(args.workloads) or [p.name for p in SUITE]
     configs = _parse_workloads(args.configs) or ["baseline", "udp"]
+    # --prefetcher NAME columns: the Table II baseline with any *registered*
+    # technique selected, preset or not (satellite of the registry redesign).
+    for kind in args.prefetcher or []:
+        if kind not in configs:
+            configs.append(kind)
+
+    def build_config(config_name: str):
+        if config_name in PRESET_BUILDERS:
+            return PRESET_BUILDERS[config_name](args.instructions)
+        from repro.sim.presets import baseline_config
+
+        return baseline_config(args.instructions).with_prefetcher(config_name)
+
+    from repro.common.errors import ConfigError
+    from repro.prefetchers.registry import get_technique
+
+    for config_name in configs:
+        if config_name not in PRESET_BUILDERS:
+            try:
+                get_technique(config_name)
+            except ConfigError as exc:
+                print(f"repro compare: {exc}", file=sys.stderr)
+                return 2
+
     specs = [
         engine.spec_for(
             workload,
-            _apply_sampling_args(
-                PRESET_BUILDERS[config_name](args.instructions), args
-            ),
+            _apply_sampling_args(build_config(config_name), args),
             args.seed, config_name,
         )
         for workload in workloads
@@ -504,6 +560,12 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_list_configs
     )
 
+    techniques = sub.add_parser(
+        "techniques", help="inspect the prefetch-technique registry"
+    )
+    techniques.add_argument("action", choices=["list"])
+    techniques.set_defaults(fn=cmd_techniques)
+
     run = sub.add_parser("run", help="simulate one workload/config pair")
     run.add_argument("-w", "--workload", default="xgboost")
     run.add_argument("-c", "--config", default="baseline", choices=sorted(PRESET_BUILDERS))
@@ -517,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="IPC table across workloads x configs")
     compare.add_argument("-w", "--workloads", default="")
     compare.add_argument("-c", "--configs", default="baseline,udp")
+    compare.add_argument(
+        "--prefetcher", action="append", default=None, metavar="KIND",
+        help="add a column running the baseline with this registered "
+             "prefetch technique (repeatable; see `repro techniques list`)",
+    )
     compare.add_argument("-n", "--instructions", type=int, default=20_000)
     compare.add_argument("--seed", type=int, default=1)
     _add_engine_args(compare)

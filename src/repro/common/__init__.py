@@ -16,6 +16,7 @@ from repro.common.config import (
     MemoryConfig,
     PrefetcherConfig,
     SimConfig,
+    TechniqueConfig,
     UDPConfig,
     UFTQConfig,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "MemoryConfig",
     "PrefetcherConfig",
     "SimConfig",
+    "TechniqueConfig",
     "UDPConfig",
     "UFTQConfig",
     "Counters",

@@ -290,26 +290,97 @@ class SamplingConfig:
 
 
 @dataclass(frozen=True)
-class PrefetcherConfig:
-    """Selection of the instruction prefetching technique under test."""
+class TechniqueConfig:
+    """Selection of the instruction prefetching technique under test.
 
-    # "fdip" (baseline), "none" (no instruction prefetching at all),
-    # "eip" / "next-line" / "sw-profile" (stand-alone prefetchers layered ON
-    # TOP of the FDIP baseline, as in the paper's Fig 13 ISO-storage
-    # comparison; set standalone_only=True to disable FDIP underneath).
+    ``kind`` names a technique in :mod:`repro.prefetchers.registry`;
+    ``params`` is that technique's frozen per-technique params dataclass
+    (``None`` auto-fills the registered defaults, so a default-constructed
+    and an explicitly-defaulted config produce identical cache keys).
+    Stand-alone techniques layer ON TOP of the FDIP baseline, as in the
+    paper's Fig 13 ISO-storage comparison; set ``standalone_only=True`` to
+    disable FDIP underneath.  The registry is imported lazily — technique
+    modules import this module, so an eager import would be circular.
+    """
+
     kind: str = "fdip"
     standalone_only: bool = False
-    # Profiling length (oracle blocks) for the sw-profile comparator.
-    sw_profile_blocks: int = 20_000
-    eip_storage_bytes: int = 8 * 1024
-    eip_entangles_per_entry: int = 2
-    eip_wrong_path_aware: bool = False
+    params: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.params is None:
+            from repro.prefetchers.registry import lookup
+
+            technique = lookup(self.kind)
+            if technique is not None:
+                object.__setattr__(self, "params", technique.params_cls())
 
     def validate(self) -> None:
-        if self.kind not in ("fdip", "none", "eip", "next-line", "sw-profile"):
-            raise ConfigError(f"unknown prefetcher kind {self.kind!r}")
-        if self.eip_storage_bytes <= 0:
-            raise ConfigError("EIP storage must be positive")
+        from repro.prefetchers.registry import get_technique
+
+        technique = get_technique(self.kind)  # raises, naming valid kinds
+        if not isinstance(self.params, technique.params_cls):
+            raise ConfigError(
+                f"prefetcher kind {self.kind!r} expects params of type "
+                f"{technique.params_cls.__name__}, got "
+                f"{type(self.params).__name__}"
+            )
+        params_validate = getattr(self.params, "validate", None)
+        if params_validate is not None:
+            params_validate()
+
+    @property
+    def capabilities(self):
+        """The registered capability declaration of the selected technique."""
+        from repro.prefetchers.registry import get_technique
+
+        return get_technique(self.kind).capabilities
+
+
+class PrefetcherConfig:
+    """Deprecated flat prefetcher selection; use :class:`TechniqueConfig`.
+
+    Kept importable as a shim: constructing one maps the legacy flat fields
+    (``kind="eip"``, ``eip_storage_bytes=...``) onto the per-technique
+    params objects and returns a :class:`TechniqueConfig`, with a
+    ``DeprecationWarning``.  Cache keys changed shape with the redesign;
+    the engine's cache schema was bumped so old entries never alias (see
+    docs/running_experiments.md).
+    """
+
+    def __new__(
+        cls,
+        kind: str = "fdip",
+        standalone_only: bool = False,
+        sw_profile_blocks: int = 20_000,
+        eip_storage_bytes: int = 8 * 1024,
+        eip_entangles_per_entry: int = 2,
+        eip_wrong_path_aware: bool = False,
+    ) -> TechniqueConfig:
+        import warnings
+
+        warnings.warn(
+            "PrefetcherConfig is deprecated; use TechniqueConfig with a "
+            "per-technique params object (see docs/techniques.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        params: object | None = None
+        if kind == "eip":
+            from repro.prefetchers.eip import EIPParams
+
+            params = EIPParams(
+                storage_bytes=eip_storage_bytes,
+                targets_per_entry=eip_entangles_per_entry,
+                wrong_path_aware=eip_wrong_path_aware,
+            )
+        elif kind == "sw-profile":
+            from repro.prefetchers.swprefetch import SWProfileParams
+
+            params = SWProfileParams(profile_blocks=sw_profile_blocks)
+        return TechniqueConfig(
+            kind=kind, standalone_only=standalone_only, params=params
+        )
 
 
 @dataclass(frozen=True)
@@ -322,7 +393,7 @@ class SimConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     uftq: UFTQConfig = field(default_factory=lambda: UFTQConfig(mode="off"))
     udp: UDPConfig = field(default_factory=UDPConfig)
-    prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    prefetcher: TechniqueConfig = field(default_factory=TechniqueConfig)
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     max_instructions: int = 50_000
     max_cycles: int = 5_000_000
@@ -371,6 +442,16 @@ class SimConfig:
         """Return a copy where every L1I access hits (Fig 1 upper bound)."""
         return self.replace(
             frontend=dataclasses.replace(self.frontend, perfect_icache=True)
+        )
+
+    def with_prefetcher(
+        self, kind: str, params: object | None = None, standalone_only: bool = False
+    ) -> "SimConfig":
+        """Return a copy selecting a registered prefetch technique."""
+        return self.replace(
+            prefetcher=TechniqueConfig(
+                kind=kind, standalone_only=standalone_only, params=params
+            )
         )
 
     def with_sampling(

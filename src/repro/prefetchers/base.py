@@ -5,9 +5,41 @@ FDIP they have no view of the FTQ — and return line addresses to prefetch.
 The simulator issues those through the same MSHR/fill path as FDIP
 prefetches, so utility and timeliness accounting is identical across
 techniques.
+
+Techniques that declare extra capabilities in the registry (see
+:mod:`repro.prefetchers.registry`) receive a :class:`FrontendHooks` bundle
+at build time: the static program image (for predecode-style techniques),
+the shared counter sink, and — when the capability is declared — callables
+into the BTB and a reference to the FTQ.  Hooks for undeclared capabilities
+are ``None``, so a technique can only touch what it registered for.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.common.counters import Counters
+    from repro.frontend.ftq import FetchTargetQueue
+    from repro.workloads.program import BranchKind, Program
+
+
+@dataclass
+class FrontendHooks:
+    """Capability-gated handles a technique may receive at build time.
+
+    ``btb_fill``/``btb_contains`` are only non-``None`` for techniques that
+    registered ``hooks_btb``; ``ftq`` only for ``hooks_ftq``.  Both BTB
+    callables late-bind through the BPU facade, so they stay valid across a
+    warmup-checkpoint restore (which swaps the BTB object wholesale).
+    """
+
+    program: "Program"
+    counters: "Counters"
+    btb_fill: Callable[[int, "BranchKind", int], None] | None = None
+    btb_contains: Callable[[int], bool] | None = None
+    ftq: "FetchTargetQueue | None" = None
 
 
 class InstructionPrefetcher:
@@ -18,6 +50,13 @@ class InstructionPrefetcher:
     def on_demand_access(self, line_addr: int, hit: bool, on_path: bool) -> list[int]:
         """Observe one L1I demand access; return lines to prefetch."""
         raise NotImplementedError
+
+    def on_line_filled(self, line_addr: int) -> None:
+        """Observe one L1I fill completing (demand or prefetch).
+
+        Only called for techniques that registered ``observes_fills``;
+        the default is a no-op so access-stream prefetchers stay oblivious.
+        """
 
     def storage_bytes(self) -> int:
         """Metadata storage consumed (for ISO-storage comparisons)."""

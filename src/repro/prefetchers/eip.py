@@ -23,12 +23,43 @@ line(s).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 
-from repro.prefetchers.base import InstructionPrefetcher
+from repro.common.errors import ConfigError
+from repro.prefetchers.base import FrontendHooks, InstructionPrefetcher
+from repro.workloads.program import Program
 
 # Approximate hardware entry cost: a compressed tag (~4B) plus two
 # compressed destination deltas (~4B each), as in the HPCA'21 design.
 _BYTES_PER_ENTRY = 12
+
+
+@dataclass(frozen=True)
+class EIPParams:
+    """Per-technique parameters for the ``eip`` registry entry."""
+
+    storage_bytes: int = 8 * 1024
+    targets_per_entry: int = 2
+    entangling_distance: int = 8
+    wrong_path_aware: bool = False
+
+    def validate(self) -> None:
+        if self.storage_bytes <= 0:
+            raise ConfigError("EIP storage must be positive")
+        if self.targets_per_entry <= 0 or self.entangling_distance <= 0:
+            raise ConfigError("EIP entangling parameters must be positive")
+
+
+def build_eip(
+    params: EIPParams, program: Program, hooks: FrontendHooks
+) -> "EntangledInstructionPrefetcher":
+    """Registry factory for the EIP comparator."""
+    return EntangledInstructionPrefetcher(
+        storage_bytes=params.storage_bytes,
+        targets_per_entry=params.targets_per_entry,
+        entangling_distance=params.entangling_distance,
+        wrong_path_aware=params.wrong_path_aware,
+    )
 
 
 class EntangledInstructionPrefetcher(InstructionPrefetcher):

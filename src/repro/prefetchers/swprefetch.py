@@ -23,12 +23,29 @@ run saw (the adaptivity limitation the paper calls out).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError
 from repro.memory.cache import SetAssocCache
-from repro.prefetchers.base import InstructionPrefetcher
+from repro.prefetchers.base import FrontendHooks, InstructionPrefetcher
 from repro.workloads.program import Program
 from repro.workloads.trace import OracleCursor
+
+
+@dataclass(frozen=True)
+class SWProfileParams:
+    """Per-technique parameters for the ``sw-profile`` registry entry."""
+
+    profile_blocks: int = 20_000
+    prefetch_distance: int = 12
+    max_targets_per_trigger: int = 4
+
+    def validate(self) -> None:
+        if self.profile_blocks <= 0:
+            raise ConfigError("sw-profile profiling length must be positive")
+        if self.prefetch_distance <= 0 or self.max_targets_per_trigger <= 0:
+            raise ConfigError("sw-profile distances must be positive")
 
 
 def profile_instruction_misses(
@@ -102,3 +119,15 @@ def build_for_program(
     """Profile + deploy in one step."""
     profile = profile_instruction_misses(program, num_blocks, **profile_kwargs)
     return ProfileGuidedPrefetcher(profile)
+
+
+def build_sw_profile(
+    params: SWProfileParams, program: Program, hooks: FrontendHooks
+) -> ProfileGuidedPrefetcher:
+    """Registry factory: run the offline profile pass, deploy the result."""
+    return build_for_program(
+        program,
+        params.profile_blocks,
+        prefetch_distance=params.prefetch_distance,
+        max_targets_per_trigger=params.max_targets_per_trigger,
+    )

@@ -103,7 +103,10 @@ TIMEOUT_GRACE_ENV = "REPRO_TIMEOUT_GRACE"
 
 FAILURE_POLICIES = ("raise", "fail-fast", "keep-going")
 
-_CACHE_SCHEMA = 1
+# Schema 2: the prefetcher config became TechniqueConfig (kind + nested
+# per-technique params dataclass), changing the asdict() shape that enters
+# cache keys — bumped so pre-redesign entries can never alias.
+_CACHE_SCHEMA = 2
 
 _RESULT_CLASSES = ("results", "programs", "checkpoints")
 

@@ -11,11 +11,15 @@ import dataclasses
 
 from repro.common.config import (
     CacheConfig,
-    PrefetcherConfig,
     SimConfig,
+    TechniqueConfig,
     UDPConfig,
     UFTQConfig,
 )
+from repro.prefetchers.eip import EIPParams
+from repro.prefetchers.mana import MANAParams
+from repro.prefetchers.shadow_btb import ShadowBTBParams
+from repro.prefetchers.swprefetch import SWProfileParams
 
 
 def baseline_config(
@@ -36,7 +40,7 @@ def perfect_icache_config(max_instructions: int = 50_000, seed: int = 1) -> SimC
 def no_prefetch_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
     """FDIP frontend with prefetching disabled (analysis baseline)."""
     config = baseline_config(max_instructions, seed)
-    return config.replace(prefetcher=PrefetcherConfig(kind="none"))
+    return config.replace(prefetcher=TechniqueConfig(kind="none"))
 
 
 def uftq_config(
@@ -83,13 +87,14 @@ def eip_config(
     storage_bytes: int = 8 * 1024,
     wrong_path_aware: bool = False,
 ) -> SimConfig:
-    """Fig 13's EIP comparator at an ISO 8KB budget (FDIP disabled)."""
+    """Fig 13's EIP comparator at an ISO 8KB budget (layered on FDIP)."""
     config = baseline_config(max_instructions, seed)
     return config.replace(
-        prefetcher=PrefetcherConfig(
+        prefetcher=TechniqueConfig(
             kind="eip",
-            eip_storage_bytes=storage_bytes,
-            eip_wrong_path_aware=wrong_path_aware,
+            params=EIPParams(
+                storage_bytes=storage_bytes, wrong_path_aware=wrong_path_aware
+            ),
         )
     )
 
@@ -100,7 +105,31 @@ def sw_profile_config(
     """Profile-guided software prefetching layered on FDIP (related work)."""
     config = baseline_config(max_instructions, seed)
     return config.replace(
-        prefetcher=PrefetcherConfig(kind="sw-profile", sw_profile_blocks=profile_blocks)
+        prefetcher=TechniqueConfig(
+            kind="sw-profile", params=SWProfileParams(profile_blocks=profile_blocks)
+        )
+    )
+
+
+def mana_config(
+    max_instructions: int = 50_000,
+    seed: int = 1,
+    storage_bytes: int = 8 * 1024,
+) -> SimConfig:
+    """MANA spatial-region prefetcher at an ISO 8KB budget (on FDIP)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        prefetcher=TechniqueConfig(
+            kind="mana", params=MANAParams(storage_bytes=storage_bytes)
+        )
+    )
+
+
+def shadow_btb_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfig:
+    """Shadow-branch BTB prefill from predecoded fill lines (on FDIP)."""
+    config = baseline_config(max_instructions, seed)
+    return config.replace(
+        prefetcher=TechniqueConfig(kind="shadow-btb", params=ShadowBTBParams())
     )
 
 
@@ -139,7 +168,7 @@ def miss_heavy_config(max_instructions: int = 50_000, seed: int = 1) -> SimConfi
     FTQ refills quickly after flushes (frontend stress, not walker stress).
     """
     config = baseline_config(max_instructions, seed)
-    config = config.replace(prefetcher=PrefetcherConfig(kind="none"))
+    config = config.replace(prefetcher=TechniqueConfig(kind="none"))
     memory = dataclasses.replace(
         config.memory,
         l1i=CacheConfig("L1I", 4 * 1024, 4, hit_latency=3, mshr_entries=32),
@@ -187,6 +216,8 @@ PRESET_BUILDERS = {
     "bigger-icache": bigger_icache_config,
     "eip": eip_config,
     "sw-profile": sw_profile_config,
+    "mana": mana_config,
+    "shadow-btb": shadow_btb_config,
     "two-level-btb": two_level_btb_config,
     "loop-predictor": loop_predictor_config,
     "miss-heavy": miss_heavy_config,

@@ -38,9 +38,8 @@ from repro.frontend.ftq import FetchTargetQueue
 from repro.memory.cache import CacheLine, SetAssocCache
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mshr import MSHRFile
-from repro.prefetchers.base import InstructionPrefetcher
-from repro.prefetchers.eip import EntangledInstructionPrefetcher
-from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.base import FrontendHooks
+from repro.prefetchers.registry import get_technique
 from repro.workloads.data import DataAddressGenerator
 from repro.workloads.profiles import DataProfile
 from repro.workloads.program import BranchKind, Program
@@ -88,6 +87,10 @@ class Simulator:
         self.l1i = SetAssocCache(config.memory.l1i)
         self.l1i.eviction_hook = self._on_l1i_eviction
         self.mshr = MSHRFile(config.memory.l1i.mshr_entries)
+        # Technique construction is fully registry-driven: the capability
+        # declaration decides what gets wired up, never the kind string.
+        technique = get_technique(config.prefetcher.kind)
+        caps = technique.capabilities
         self.fdip = FDIPEngine(
             config.frontend,
             self.ftq,
@@ -96,12 +99,26 @@ class Simulator:
             self.hierarchy,
             self.counters,
             gate=self.udp,
-            enabled=(
-                config.prefetcher.kind != "none"
-                and not config.prefetcher.standalone_only
-            ),
+            enabled=(caps.uses_fdip and not config.prefetcher.standalone_only),
         )
-        self.prefetcher = self._build_standalone_prefetcher()
+        bpu = self.bpu
+        hooks = FrontendHooks(
+            program=program,
+            counters=self.counters,
+            btb_fill=bpu.fill_btb if caps.hooks_btb else None,
+            # Late-bound through the facade: checkpoint restore swaps the
+            # BTB object, so a bound method of the BTB itself would go stale.
+            btb_contains=(
+                (lambda pc: bpu.btb.contains(pc)) if caps.hooks_btb else None
+            ),
+            ftq=self.ftq if caps.hooks_ftq else None,
+        )
+        self.prefetcher = technique.build(config.prefetcher.params, program, hooks)
+        self._fill_observer = (
+            self.prefetcher
+            if caps.observes_fills and self.prefetcher is not None
+            else None
+        )
 
         self.data_gen = DataAddressGenerator(
             data_profile if data_profile is not None else DataProfile(), self.rng_seed
@@ -150,24 +167,6 @@ class Simulator:
         self._c_dispatch_stall = counters.incrementer("dispatch_stall_backend_full")
         self._c_dispatched = counters.incrementer("dispatched_instructions")
         self._c_l1i_fills = counters.incrementer("l1i_fills")
-
-    def _build_standalone_prefetcher(self) -> InstructionPrefetcher | None:
-        kind = self.config.prefetcher.kind
-        if kind == "eip":
-            return EntangledInstructionPrefetcher(
-                storage_bytes=self.config.prefetcher.eip_storage_bytes,
-                targets_per_entry=self.config.prefetcher.eip_entangles_per_entry,
-                wrong_path_aware=self.config.prefetcher.eip_wrong_path_aware,
-            )
-        if kind == "next-line":
-            return NextLinePrefetcher()
-        if kind == "sw-profile":
-            from repro.prefetchers.swprefetch import build_for_program
-
-            return build_for_program(
-                self.program, self.config.prefetcher.sw_profile_blocks
-            )
-        return None
 
     # -- functional warmup -------------------------------------------------------
 
@@ -475,6 +474,7 @@ class Simulator:
     # -- fills ----------------------------------------------------------------------
 
     def _process_fills(self, cycle: int) -> None:
+        fill_observer = self._fill_observer
         for entry in self.mshr.pop_ready(cycle):
             keep_prefetch_bit = entry.is_prefetch and not entry.demand_on_path
             self.l1i.install(
@@ -484,6 +484,8 @@ class Simulator:
                 prefetch_udp_candidate=entry.udp_candidate,
             )
             self._c_l1i_fills()
+            if fill_observer is not None:
+                fill_observer.on_line_filled(entry.line_addr)
 
     # -- resteer ---------------------------------------------------------------------
 

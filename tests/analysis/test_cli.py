@@ -41,6 +41,58 @@ def test_compare_command(capsys):
     assert "%" in out
 
 
+def test_techniques_list(capsys):
+    assert main(["techniques", "list"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("fdip", "eip", "mana", "shadow-btb", "sw-profile"):
+        assert kind in out
+    assert "btb-hooks" in out  # capability flags are rendered
+    assert "storage_bytes=8192" in out  # params defaults are rendered
+
+
+def test_techniques_list_tracks_registry(capsys):
+    from dataclasses import dataclass
+
+    from repro.prefetchers import registry
+
+    @dataclass(frozen=True)
+    class _P:
+        pass
+
+    registry.register(
+        registry.Technique(
+            name="zz-test-only",
+            summary="dynamically registered",
+            params_cls=_P,
+            build=lambda params, program, hooks: None,
+        )
+    )
+    try:
+        assert main(["techniques", "list"]) == 0
+        assert "zz-test-only" in capsys.readouterr().out
+    finally:
+        registry.unregister("zz-test-only")
+
+
+def test_compare_prefetcher_flag(capsys):
+    assert main([
+        "compare", "-w", "mediawiki", "-c", "baseline",
+        "--prefetcher", "mana", "--prefetcher", "shadow-btb", "-n", "2500",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mana IPC" in out
+    assert "shadow-btb IPC" in out
+
+
+def test_compare_prefetcher_unknown_kind_rejected(capsys):
+    assert main([
+        "compare", "-w", "mediawiki", "-c", "baseline",
+        "--prefetcher", "bogus", "-n", "2500",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err and "registered kinds" in err
+
+
 def test_figure_fig1(capsys):
     assert main(["figure", "fig1", "-w", "mediawiki", "-n", "2500"]) == 0
     out = capsys.readouterr().out

@@ -70,7 +70,9 @@ def test_fig11_structure():
 
 def test_fig13_structure():
     out = experiments.fig13_udp_speedup(**TINY)
-    assert set(out["speedups"]) == {"udp", "infinite", "icache-40k", "eip-8k"}
+    assert set(out["speedups"]) == {
+        "udp", "infinite", "icache-40k", "eip-8k", "mana-8k", "shadow-btb"
+    }
     fig14 = experiments.fig14_udp_mpki(out)
     fig15 = experiments.fig15_lost_instructions(out)
     assert "mediawiki" in fig14["mpki"]

@@ -12,6 +12,7 @@ from repro.common.config import (
     MemoryConfig,
     PrefetcherConfig,
     SimConfig,
+    TechniqueConfig,
     UDPConfig,
     UFTQConfig,
 )
@@ -127,8 +128,23 @@ def test_udp_rejects_bad_flush_ratio():
 
 
 def test_prefetcher_rejects_unknown_kind():
+    with pytest.raises(ConfigError, match="registered kinds"):
+        TechniqueConfig(kind="magic").validate()
+
+
+def test_legacy_prefetcher_config_still_importable():
+    with pytest.deprecated_call():
+        legacy = PrefetcherConfig(kind="next-line")
+    assert isinstance(legacy, TechniqueConfig)
+    SimConfig(prefetcher=legacy).validate()
+
+
+def test_technique_config_rejects_bad_params():
+    from repro.prefetchers.mana import MANAParams
+
+    bad = TechniqueConfig(kind="mana", params=MANAParams(storage_bytes=-1))
     with pytest.raises(ConfigError):
-        PrefetcherConfig(kind="magic").validate()
+        SimConfig(prefetcher=bad).validate()
 
 
 def test_simconfig_rejects_warmup_beyond_run():

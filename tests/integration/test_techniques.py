@@ -6,6 +6,8 @@ from repro.sim.presets import (
     PRESET_BUILDERS,
     baseline_config,
     eip_config,
+    mana_config,
+    shadow_btb_config,
     udp_config,
     uftq_config,
 )
@@ -54,6 +56,25 @@ def test_eip_trains_on_top_of_fdip():
     assert result.retired >= 8_000
     # FDIP remains active underneath EIP.
     assert result["fdip_candidates"] > 0
+
+
+def test_mana_trains_and_replays_on_top_of_fdip():
+    result = run_workload("gcc", mana_config(8_000), "mana")
+    assert result.retired >= 8_000
+    assert result["mana_records_trained"] > 0
+    assert result["mana_replayed_lines"] > 0
+    # FDIP remains active underneath MANA.
+    assert result["fdip_candidates"] > 0
+
+
+def test_shadow_btb_prefills_and_cuts_resteers():
+    base = run_workload("gcc", baseline_config(8_000), "base-for-shbtb")
+    shadow = run_workload("gcc", shadow_btb_config(8_000), "shbtb")
+    assert shadow["shadow_btb_lines_scanned"] > 0
+    assert shadow["shadow_btb_prefills"] > 0
+    # Predecoded shadow branches are discovered before first fetch, so the
+    # frontend takes fewer BTB-miss resteers than plain FDIP.
+    assert shadow["resteer_btb_miss"] < base["resteer_btb_miss"]
 
 
 def test_btb_scaling_changes_behavior():

@@ -1,0 +1,104 @@
+"""MANA comparator: region training, chained replay, HOBPT pressure."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.prefetchers.mana import MANAParams, MANAPrefetcher
+
+L = 64
+
+
+def make_mana(**overrides):
+    defaults = dict(storage_bytes=8 * 1024, region_lines=8, lookahead_records=3)
+    defaults.update(overrides)
+    return MANAPrefetcher(MANAParams(**defaults))
+
+
+def access(mana, *lines):
+    out = []
+    for line in lines:
+        out = mana.on_demand_access(line * L, hit=False, on_path=True)
+    return out
+
+
+def test_no_replay_before_training():
+    mana = make_mana()
+    assert access(mana, 10) == []
+
+
+def test_region_footprint_replayed_on_trigger():
+    mana = make_mana()
+    # Stay inside region 10 (lines 10, 11, 13), then jump far to commit it.
+    access(mana, 10, 11, 13, 500)
+    out = access(mana, 10)
+    assert 11 * L in out and 13 * L in out
+    assert 12 * L not in out  # never touched: not in the footprint
+
+
+def test_successor_chain_followed():
+    mana = make_mana()
+    access(mana, 10, 11, 500, 501, 900)  # region 10 -> region 500 -> 900
+    out = access(mana, 10)
+    assert 500 * L in out  # successor of region 10
+    assert 501 * L in out  # region 500's footprint, via lookahead
+    assert mana.triggered == len(out)
+
+
+def test_lookahead_bounds_chain_depth():
+    mana = make_mana(lookahead_records=1)
+    access(mana, 10, 500, 900, 1300)
+    out = access(mana, 10)
+    assert 500 * L in out
+    assert 900 * L not in out  # second record is past the lookahead
+
+
+def test_capacity_is_storage_bounded():
+    mana = make_mana(storage_bytes=1024)
+    assert mana.capacity == 1024 // mana._record_bytes
+    for i in range(3 * mana.capacity):
+        access(mana, 10_000 + 20 * i)  # each access far enough to commit
+    assert mana.table_occupancy <= mana.capacity
+    assert mana.storage_bytes() <= 1024 + mana._record_bytes
+
+
+def test_hob_eviction_drops_dependent_records():
+    # One-entry HOBPT: training a trigger in a new 4KiB granule evicts the
+    # old pattern and every record that depended on it.
+    mana = make_mana(hob_entries=1, hob_shift=12)
+    access(mana, 10, 500)  # commits record for trigger line 10 (granule 0)
+    assert mana.table_occupancy == 1
+    access(mana, 5_000)  # commits region 500: its granule differs -> eviction
+    assert mana.hob_evictions == 1
+    assert access(mana, 10) == []  # record for line 10 is gone
+
+
+def test_counters_wired():
+    class Fake:
+        def __init__(self):
+            self.bumps = {}
+
+        def bump(self, name, by=1):
+            self.bumps[name] = self.bumps.get(name, 0) + by
+
+    counters = Fake()
+    mana = MANAPrefetcher(MANAParams(), counters=counters)
+    mana.on_demand_access(10 * L, hit=False, on_path=True)
+    mana.on_demand_access(500 * L, hit=False, on_path=True)
+    assert counters.bumps["mana_records_trained"] == 1
+    mana.on_demand_access(10 * L, hit=False, on_path=True)
+    assert counters.bumps["mana_replayed_lines"] >= 1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(storage_bytes=0),
+        dict(region_lines=1),
+        dict(lookahead_records=0),
+        dict(hob_entries=0),
+        dict(hob_shift=6),
+    ],
+)
+def test_params_validate_rejects(bad):
+    with pytest.raises(ConfigError):
+        MANAParams(**bad).validate()

@@ -13,7 +13,7 @@ These tests pin the key derivation from both sides:
 
 import dataclasses
 
-from repro.common.config import PrefetcherConfig, SimConfig, UFTQConfig
+from repro.common.config import SimConfig, TechniqueConfig, UFTQConfig
 from repro.sim.checkpoint import (
     WARMUP_CONFIG_FIELDS,
     checkpoint_key,
@@ -54,9 +54,11 @@ def test_uftq_mode_does_not_change_key():
 
 
 def test_prefetcher_kind_does_not_change_key():
-    assert _key(base()) == _key(
-        base().replace(prefetcher=PrefetcherConfig(kind="none"))
-    )
+    keys = {
+        _key(base().replace(prefetcher=TechniqueConfig(kind=kind)))
+        for kind in ("fdip", "none", "mana", "shadow-btb")
+    }
+    assert keys == {_key(base())}
 
 
 def test_core_width_does_not_change_key():

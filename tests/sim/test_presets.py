@@ -8,9 +8,11 @@ from repro.sim.presets import (
     bigger_icache_config,
     eip_config,
     infinite_storage_config,
+    mana_config,
     no_prefetch_config,
     opt_config,
     perfect_icache_config,
+    shadow_btb_config,
     udp_config,
     uftq_config,
 )
@@ -75,7 +77,19 @@ def test_eip_rides_on_fdip():
     config = eip_config()
     assert config.prefetcher.kind == "eip"
     assert not config.prefetcher.standalone_only
-    assert config.prefetcher.eip_storage_bytes == 8 * 1024
+    assert config.prefetcher.params.storage_bytes == 8 * 1024
+
+
+def test_mana_rides_on_fdip_at_iso_storage():
+    config = mana_config()
+    assert config.prefetcher.kind == "mana"
+    assert not config.prefetcher.standalone_only
+    assert config.prefetcher.params.storage_bytes == 8 * 1024
+
+
+def test_shadow_btb_declares_fill_hooks():
+    caps = shadow_btb_config().prefetcher.capabilities
+    assert caps.hooks_btb and caps.observes_fills and caps.uses_fdip
 
 
 def test_opt_config_depth():
