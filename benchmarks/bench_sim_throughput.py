@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""End-to-end simulator throughput benchmark: KIPS with fast-forward on/off.
+"""End-to-end simulator throughput benchmark: fast vs. naive KIPS.
 
 Unlike the ``bench_fig*.py`` harness (which times *experiments* through the
 cached engine), this script times raw :class:`Simulator` runs — the object
 of study is the simulator itself, so every run is built fresh and nothing
-touches the result cache.  For each preset it measures retired-KIPS (
-thousands of simulated instructions per wall-clock second) with idle-cycle
-fast-forward enabled and with the naive one-cycle-at-a-time stepper
-(``REPRO_NO_FASTFORWARD`` semantics), reports the median over ``--reps``
-interleaved repetitions (container wall-clock is noisy), and cross-checks
-that both modes produce byte-identical ``measured_counters()``.
+touches the result cache.  For each preset it measures retired-KIPS
+(thousands of simulated instructions per wall-clock second) in the **fast**
+configuration — array-oriented SoA kernels plus idle-cycle fast-forward —
+and in the **naive** oracle configuration — object-based structures and the
+one-cycle-at-a-time stepper (``REPRO_NO_VECTOR`` + ``REPRO_NO_FASTFORWARD``
+semantics).  The median over ``--reps`` interleaved repetitions is reported
+(container wall-clock is noisy), and both modes are cross-checked for
+byte-identical ``measured_counters()``.
 
 The committed reference results live in ``BENCH_throughput.json`` at the
 repo root; regenerate with::
@@ -18,7 +20,8 @@ repo root; regenerate with::
 
 The ``miss-heavy`` preset is the headline: a DRAM-bound fetch stress where
 >95% of cycles are pure icache-miss stalls, which fast-forward skips in
-bulk (see docs/performance.md).
+bulk (see docs/performance.md).  ``--min-speedup X`` exits non-zero unless
+the best per-preset fast/naive speedup reaches ``X`` (the CI smoke gate).
 """
 
 from __future__ import annotations
@@ -37,16 +40,23 @@ sys.path.insert(
 from repro.sim.presets import PRESET_BUILDERS  # noqa: E402
 from repro.sim.profile import build_simulator  # noqa: E402
 
-DEFAULT_PRESETS = ["miss-heavy", "no-prefetch", "baseline", "udp"]
+DEFAULT_PRESETS = [
+    "miss-heavy", "no-prefetch", "baseline", "udp", "mana", "shadow-btb",
+]
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_throughput.json"
 )
 
 
 def _run_once(workload: str, preset: str, n: int, seed: int, fast: bool):
-    """One fresh simulation; returns (simulator, wall seconds)."""
+    """One fresh simulation; returns (simulator, wall seconds).
+
+    ``fast=True`` is the full fast configuration (SoA vector kernels +
+    idle-cycle fast-forward); ``fast=False`` is the pure object oracle with
+    the naive stepper, regardless of the ambient ``REPRO_NO_*`` env.
+    """
     config = PRESET_BUILDERS[preset](n, seed)
-    simulator = build_simulator(workload, config, seed)
+    simulator = build_simulator(workload, config, seed, vector=fast)
     simulator.fast_forward_enabled = fast
     started = time.perf_counter()
     simulator.run()
@@ -106,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions per mode (median is reported)")
     parser.add_argument("-o", "--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero unless the best per-preset fast/naive speedup "
+             "reaches this factor (CI smoke gate)",
+    )
     args = parser.parse_args(argv)
 
     presets = [p.strip() for p in args.presets.split(",") if p.strip()]
@@ -141,6 +156,18 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"\nwrote {out}")
+
+    if args.min_speedup is not None:
+        best = max(row["speedup"] for row in results)
+        if best < args.min_speedup:
+            print(
+                f"ERROR: best speedup {best:.2f}x below required "
+                f"{args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"speedup gate passed: best {best:.2f}x >= "
+              f"{args.min_speedup:.2f}x")
     return 0
 
 

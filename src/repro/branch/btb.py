@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.config import BranchConfig
+from repro.common.vector import resolve_vector
 from repro.workloads.program import BranchKind
 
 
@@ -78,6 +79,147 @@ class BranchTargetBuffer:
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    # -- checkpoint serialization (layout-neutral) --------------------------
+
+    def state_dict(self) -> dict:
+        """Per-set ``(pc, kind, target)`` tuples in LRU→MRU order.
+
+        Only the *relative* recency within a set affects future behaviour
+        (eviction takes the min stamp), so ordering replaces raw stamps and
+        the format round-trips between the dict-based and SoA layouts.
+        """
+        return {
+            "sets": [
+                [
+                    (e.pc, int(e.kind), e.target)
+                    for e in sorted(way_set.values(), key=lambda e: e.lru)
+                ]
+                for way_set in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("BTB geometry mismatch")
+        for way_set, entries in zip(self._sets, sets_state):
+            way_set.clear()
+            for pc, kind, target in entries:
+                self._stamp += 1
+                way_set[pc] = BTBEntry(pc, BranchKind(kind), target, self._stamp)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
+class BranchTargetBufferVec(BranchTargetBuffer):
+    """Set-associative BTB with structure-of-arrays way storage.
+
+    Way payloads (kind, target, tag pc) live in preallocated
+    ``(num_sets, assoc)`` int64 ndarrays; a per-set dict maps pc → way index
+    and, through dict insertion order, doubles as the LRU chain (a touch
+    re-inserts at the MRU end, the victim is the first key — equivalent to
+    the oracle's monotonic-stamp min, since every stamp update is a
+    move-to-end).  Scalar probes stay O(1) hash lookups — a calibrated
+    single-element ndarray probe is ~50x a dict probe — while the arrays
+    make bulk operations (checkpoint export/import) single numpy/buffer
+    conversions and pin the payload memory layout.
+    """
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        import numpy as np
+
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        # pc -> way index, insertion-ordered LRU -> MRU.
+        self._maps: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._kinds = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._targets = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._pcs = np.full((self.num_sets, assoc), -1, dtype=np.int64)
+        self._free: list[list[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, pc: int) -> BTBEntry | None:
+        """Look up the branch at ``pc``; update recency on hit."""
+        way_map = self._maps[(pc >> 2) % self.num_sets]
+        way = way_map.get(pc)
+        if way is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        del way_map[pc]
+        way_map[pc] = way  # move to MRU
+        set_index = (pc >> 2) % self.num_sets
+        return BTBEntry(
+            pc,
+            BranchKind(int(self._kinds[set_index, way])),
+            int(self._targets[set_index, way]),
+        )
+
+    def contains(self, pc: int) -> bool:
+        """Tag check without touching recency or statistics."""
+        return pc in self._maps[(pc >> 2) % self.num_sets]
+
+    def fill(self, pc: int, kind: BranchKind, target: int) -> None:
+        """Insert or refresh the entry for the branch at ``pc``."""
+        set_index = (pc >> 2) % self.num_sets
+        way_map = self._maps[set_index]
+        way = way_map.get(pc)
+        if way is None:
+            free = self._free[set_index]
+            if free:
+                way = free.pop()
+            else:
+                victim_pc, way = next(iter(way_map.items()))  # LRU = first key
+                del way_map[victim_pc]
+        else:
+            del way_map[pc]
+        self._kinds[set_index, way] = int(kind)
+        self._targets[set_index, way] = target
+        self._pcs[set_index, way] = pc
+        way_map[pc] = way
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(m) for m in self._maps)
+
+    def state_dict(self) -> dict:
+        """Same layout-neutral format as :meth:`BranchTargetBuffer.state_dict`."""
+        return {
+            "sets": [
+                [
+                    (pc, int(self._kinds[s, w]), int(self._targets[s, w]))
+                    for pc, w in way_map.items()
+                ]
+                for s, way_map in enumerate(self._maps)
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("BTB geometry mismatch")
+        self._pcs[:] = -1
+        for s, entries in enumerate(sets_state):
+            way_map = self._maps[s]
+            way_map.clear()
+            self._free[s] = list(range(self.assoc - 1, -1, -1))
+            for pc, kind, target in entries:
+                way = self._free[s].pop()
+                self._kinds[s, way] = kind
+                self._targets[s, way] = target
+                self._pcs[s, way] = pc
+                way_map[pc] = way
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
 
 class IndirectTargetBuffer:
     """Path-history-hashed predictor for indirect branch targets."""
@@ -119,8 +261,118 @@ class IndirectTargetBuffer:
             del way_set[victim]
         way_set[tag] = (target, self._stamp)
 
+    # -- checkpoint serialization (layout-neutral) --------------------------
 
-def btb_from_config(config: BranchConfig):
+    def state_dict(self) -> dict:
+        """Per-set ``(tag, target)`` tuples in LRU→MRU order."""
+        return {
+            "sets": [
+                [
+                    (tag, entry[0])
+                    for tag, entry in sorted(
+                        way_set.items(), key=lambda kv: kv[1][1]
+                    )
+                ]
+                for way_set in self._sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("iBTB geometry mismatch")
+        for way_set, entries in zip(self._sets, sets_state):
+            way_set.clear()
+            for tag, target in entries:
+                self._stamp += 1
+                way_set[tag] = (target, self._stamp)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
+class IndirectTargetBufferVec(IndirectTargetBuffer):
+    """Indirect target buffer with SoA way storage (see BranchTargetBufferVec).
+
+    Identical replacement semantics to :class:`IndirectTargetBuffer`: every
+    stamp update there is a move-to-end here, so dict insertion order *is*
+    the LRU chain and the min-stamp victim is the first key.
+    """
+
+    def __init__(self, entries: int, assoc: int, history_bits: int = 12) -> None:
+        import numpy as np
+
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.history_bits = history_bits
+        # tag -> way index, insertion-ordered LRU -> MRU.
+        self._maps: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._targets = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._free: list[list[int]] = [
+            list(range(assoc - 1, -1, -1)) for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def predict(self, pc: int, history: int) -> int | None:
+        """Predicted target for the indirect branch at ``pc``, or None."""
+        set_index, tag = self._key(pc, history)
+        way_map = self._maps[set_index]
+        way = way_map.get(tag)
+        if way is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        del way_map[tag]
+        way_map[tag] = way  # move to MRU (the oracle re-stamps on hit)
+        return int(self._targets[set_index, way])
+
+    def train(self, pc: int, history: int, target: int) -> None:
+        """Record the resolved target under the current path history."""
+        set_index, tag = self._key(pc, history)
+        way_map = self._maps[set_index]
+        way = way_map.get(tag)
+        if way is None:
+            free = self._free[set_index]
+            if free:
+                way = free.pop()
+            else:
+                victim_tag, way = next(iter(way_map.items()))
+                del way_map[victim_tag]
+        else:
+            del way_map[tag]
+        self._targets[set_index, way] = target
+        way_map[tag] = way
+
+    def state_dict(self) -> dict:
+        return {
+            "sets": [
+                [(tag, int(self._targets[s, w])) for tag, w in way_map.items()]
+                for s, way_map in enumerate(self._maps)
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("iBTB geometry mismatch")
+        for s, entries in enumerate(sets_state):
+            way_map = self._maps[s]
+            way_map.clear()
+            self._free[s] = list(range(self.assoc - 1, -1, -1))
+            for tag, target in entries:
+                way = self._free[s].pop()
+                self._targets[s, way] = target
+                way_map[tag] = way
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
+def btb_from_config(config: BranchConfig, vector: bool | None = None):
     """Construct the branch-discovery BTB.
 
     ``btb_levels == 1`` gives Table II's monolithic BTB; ``2`` gives the
@@ -135,10 +387,15 @@ def btb_from_config(config: BranchConfig):
             l1_assoc=config.l1_btb_assoc,
             l2_entries=config.btb_entries,
             l2_assoc=config.btb_assoc,
+            vector=vector,
         )
+    if resolve_vector(vector):
+        return BranchTargetBufferVec(config.btb_entries, config.btb_assoc)
     return BranchTargetBuffer(config.btb_entries, config.btb_assoc)
 
 
-def ibtb_from_config(config: BranchConfig) -> IndirectTargetBuffer:
+def ibtb_from_config(config: BranchConfig, vector: bool | None = None):
     """Construct the indirect target buffer per Table II."""
+    if resolve_vector(vector):
+        return IndirectTargetBufferVec(config.ibtb_entries, config.ibtb_assoc)
     return IndirectTargetBuffer(config.ibtb_entries, config.ibtb_assoc)

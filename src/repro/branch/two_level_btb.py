@@ -17,7 +17,8 @@ Drop-in compatible with :class:`~repro.branch.btb.BranchTargetBuffer`
 
 from __future__ import annotations
 
-from repro.branch.btb import BranchTargetBuffer, BTBEntry
+from repro.branch.btb import BranchTargetBuffer, BranchTargetBufferVec, BTBEntry
+from repro.common.vector import resolve_vector
 from repro.workloads.program import BranchKind
 
 
@@ -30,9 +31,11 @@ class TwoLevelBTB:
         l1_assoc: int = 4,
         l2_entries: int = 8192,
         l2_assoc: int = 8,
+        vector: bool | None = None,
     ) -> None:
-        self.l1 = BranchTargetBuffer(l1_entries, l1_assoc)
-        self.l2 = BranchTargetBuffer(l2_entries, l2_assoc)
+        cls = BranchTargetBufferVec if resolve_vector(vector) else BranchTargetBuffer
+        self.l1 = cls(l1_entries, l1_assoc)
+        self.l2 = cls(l2_entries, l2_assoc)
         self.promotions = 0
 
     # -- BranchTargetBuffer protocol ----------------------------------------
@@ -69,6 +72,22 @@ class TwoLevelBTB:
     @property
     def misses(self) -> int:
         return self.l1.misses
+
+    def state_dict(self) -> dict:
+        """Layout-neutral snapshot: both levels plus the promotion count."""
+        return {
+            "levels": 2,
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "promotions": self.promotions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("levels") != 2:
+            raise ValueError("BTB level mismatch")
+        self.l1.load_state(state["l1"])
+        self.l2.load_state(state["l2"])
+        self.promotions = state["promotions"]
 
     @property
     def l2_coverage(self) -> float:

@@ -23,7 +23,7 @@ from repro.branch.btb import BTBEntry, btb_from_config, ibtb_from_config
 from repro.branch.history import GlobalHistory
 from repro.branch.loop_predictor import LoopPredictor
 from repro.branch.ras import ReturnAddressStack
-from repro.branch.tage import TagePrediction, TagePredictor
+from repro.branch.tage import TagePrediction, TagePredictor, tage_from_config
 from repro.common.config import BranchConfig
 from repro.common.counters import Counters
 from repro.workloads.program import BranchKind
@@ -34,14 +34,21 @@ HistoryState = tuple[int, tuple[int, ...]]
 class BranchPredictionUnit:
     """All branch prediction state of the decoupled frontend."""
 
-    def __init__(self, config: BranchConfig, counters: Counters | None = None) -> None:
+    def __init__(
+        self,
+        config: BranchConfig,
+        counters: Counters | None = None,
+        vector: bool | None = None,
+    ) -> None:
         self.config = config
         self.counters = counters if counters is not None else Counters()
         foldings = TagePredictor.expected_foldings(config)
         self.history = GlobalHistory(config.tage_max_hist, foldings)
-        self.tage = TagePredictor(config, self.history)
-        self.btb = btb_from_config(config)
-        self.ibtb = ibtb_from_config(config)
+        # SoA (vector-mode) predictor structures unless REPRO_NO_VECTOR; both
+        # variants are byte-identical in behaviour (tests/sim/test_vector.py).
+        self.tage = tage_from_config(config, self.history, vector)
+        self.btb = btb_from_config(config, vector)
+        self.ibtb = ibtb_from_config(config, vector)
         self.ras = ReturnAddressStack(config.ras_entries)
         self.loop = (
             LoopPredictor(config.loop_predictor_entries)

@@ -1,0 +1,52 @@
+"""The vector-mode gate: array-oriented kernels vs. the object oracle.
+
+``REPRO_NO_VECTOR=1`` selects the original object-based implementations of
+the hot microarchitectural structures (TAGE tables as Python lists, BTB and
+cache sets as dicts of entry objects, the straight-line FTQ walker).  The
+default — vector mode — selects the structure-of-arrays variants: predictor
+tables, BTB ways, and cache-tag metadata live in preallocated ``int64``
+ndarrays with vectorized index/tag/hit computation, plus the array-oriented
+hot-loop restructurings that depend on them (precomputed fetch-window walk
+plans, the vectorized load-dependence table, issue-scan wake gating).
+
+Both paths are byte-identical in every measured counter on every preset
+(``tests/sim/test_vector.py``); the object path stays in the tree precisely
+to serve as the equivalence oracle, exactly like ``REPRO_NO_FASTFORWARD``
+keeps the naive stepper.
+
+A calibration note that shaped the design (see docs/performance.md): a
+*single-element* numpy probe is ~50x slower than a dict probe in CPython, so
+the vector kernels use ndarrays where work is genuinely bulk (whole-table
+aging, folded-history gather, checkpoint serialization, whole-program
+dependence precompute) and keep O(1) hash indexing for scalar probes, with
+the ndarrays as the single source of payload truth.
+"""
+
+from __future__ import annotations
+
+from repro.common.artifacts import env_truthy
+
+NO_VECTOR_ENV = "REPRO_NO_VECTOR"
+
+try:  # numpy is a baked-in dependency, but degrade gracefully without it
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    HAS_NUMPY = False
+
+
+def vector_enabled() -> bool:
+    """True unless ``REPRO_NO_VECTOR`` opts into the object-based oracle."""
+    return HAS_NUMPY and not env_truthy(NO_VECTOR_ENV)
+
+
+def resolve_vector(vector: bool | None) -> bool:
+    """Resolve an explicit ``vector`` override against the environment gate.
+
+    ``None`` (the default everywhere) defers to :func:`vector_enabled`;
+    an explicit ``True`` still requires numpy to be importable.
+    """
+    if vector is None:
+        return vector_enabled()
+    return bool(vector) and HAS_NUMPY

@@ -18,19 +18,24 @@ from __future__ import annotations
 from repro.common.addr import line_of
 from repro.common.config import MemoryConfig
 from repro.common.counters import Counters
-from repro.memory.cache import SetAssocCache
+from repro.memory.cache import make_cache
 from repro.memory.stream import StreamPrefetcher
 
 
 class MemoryHierarchy:
     """Shared L2/LLC/DRAM plus the private L1D."""
 
-    def __init__(self, config: MemoryConfig, counters: Counters | None = None) -> None:
+    def __init__(
+        self,
+        config: MemoryConfig,
+        counters: Counters | None = None,
+        vector: bool | None = None,
+    ) -> None:
         self.config = config
         self.counters = counters if counters is not None else Counters()
-        self.l1d = SetAssocCache(config.l1d)
-        self.l2 = SetAssocCache(config.l2)
-        self.llc = SetAssocCache(config.llc)
+        self.l1d = make_cache(config.l1d, vector)
+        self.l2 = make_cache(config.l2, vector)
+        self.llc = make_cache(config.llc, vector)
         self.stream = StreamPrefetcher() if config.stream_prefetcher else None
         # Interned fast-path counter slots (see Counters.incrementer).
         counters = self.counters

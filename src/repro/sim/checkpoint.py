@@ -28,14 +28,15 @@ sweep shares a single checkpoint (``tests/sim/test_checkpoint_key.py``).
 
 Restoration rules worth knowing when extending the simulator:
 
-* state aliased by other components is restored **in place** (the counters
-  dict backs interned incrementer closures; ``bpu.history`` is shared with
-  TAGE; cache ``_sets`` lists are aliased by FDIP via ``sim.l1i``);
-* un-aliased pure-data structures (BTB, iBTB, TAGE tables) are pickled
-  whole and swapped in;
-* caches are serialized as per-set line tuples rather than pickled
-  ``SetAssocCache`` objects — the L1I carries a bound-method eviction hook
-  that would drag the whole simulator into the pickle.
+* **all** predictor and cache state is serialized layout-neutrally and
+  restored in place (``state_dict``/``load_state`` on TAGE/BTB/iBTB,
+  ``state_lines``/``load_lines`` on the caches): a snapshot captured in
+  vector (SoA) mode restores into an object-mode simulator and vice versa,
+  and no component object is ever swapped out from under the closures and
+  hooks that alias it;
+* cache sets are per-set line tuples in LRU->MRU order, BTB/iBTB sets are
+  per-set entry tuples in LRU->MRU order — replacement order is part of the
+  state, the physical layout (dict of objects vs. ndarray ways) is not.
 
 ``REPRO_NO_CHECKPOINT=1`` opts out (the engine re-runs warmup from
 scratch); a corrupt or stale snapshot raises :class:`CheckpointError`,
@@ -64,7 +65,6 @@ from repro.common.artifacts import (
     shard_path,
 )
 from repro.common.config import SimConfig
-from repro.memory.cache import CacheLine, SetAssocCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.simulator import Simulator
@@ -82,7 +82,10 @@ __all__ = [
     "warmup_config_subset",
 ]
 
-CHECKPOINT_SCHEMA = 1
+# Schema 2: layout-neutral predictor/cache serialization (state_dict /
+# state_lines) replacing pickled component objects, so vector-mode (SoA) and
+# object-mode simulators share checkpoints interchangeably.
+CHECKPOINT_SCHEMA = 2
 
 
 class CheckpointError(Exception):
@@ -163,23 +166,6 @@ def interval_checkpoint_key(
 # ---------------------------------------------------------------------------
 
 
-def _cache_state(cache: SetAssocCache) -> list[list[tuple]]:
-    """Per-set (LRU->MRU ordered) line tuples, cheap to pickle."""
-    return [
-        [
-            (
-                line.line_addr,
-                line.prefetch_bit,
-                line.prefetch_off_path,
-                line.prefetch_udp_candidate,
-                line.dirty,
-            )
-            for line in way_set.values()
-        ]
-        for way_set in cache._sets
-    ]
-
-
 def capture_warmup(sim: "Simulator") -> bytes:
     """Serialize all state :meth:`Simulator.functional_warmup` mutated.
 
@@ -213,24 +199,19 @@ def capture_warmup(sim: "Simulator") -> bytes:
         },
         "spec_pc": sim.frontend.spec_pc,
         "history": bpu.history.checkpoint(),
-        "tage": {
-            "base": tage.base,
-            "tables": tage.tables,
-            "use_alt_counter": tage.use_alt_counter,
-            "tick": tage._tick,
-        },
-        "btb": bpu.btb,
-        "ibtb": bpu.ibtb,
+        "tage": tage.state_dict(),
+        "btb": bpu.btb.state_dict(),
+        "ibtb": bpu.ibtb.state_dict(),
         "ras": {
             "stack": list(bpu.ras._stack),
             "overflows": bpu.ras.overflows,
             "underflows": bpu.ras.underflows,
         },
         "caches": {
-            "l1i": _cache_state(sim.l1i),
-            "l1d": _cache_state(sim.hierarchy.l1d),
-            "l2": _cache_state(sim.hierarchy.l2),
-            "llc": _cache_state(sim.hierarchy.llc),
+            "l1i": sim.l1i.state_lines(),
+            "l1d": sim.hierarchy.l1d.state_lines(),
+            "l2": sim.hierarchy.l2.state_lines(),
+            "llc": sim.hierarchy.llc.state_lines(),
         },
         "useful_set": useful,
         "counters": dict(sim.counters._values),
@@ -242,18 +223,6 @@ def capture_warmup(sim: "Simulator") -> bytes:
 # ---------------------------------------------------------------------------
 # Restore
 # ---------------------------------------------------------------------------
-
-
-def _restore_cache(cache: SetAssocCache, sets_state: list[list[tuple]]) -> None:
-    """Rebuild a cache's contents in place (``_sets`` is aliased elsewhere)."""
-    if len(sets_state) != len(cache._sets):
-        raise CheckpointError("cache geometry mismatch")
-    for way_set, lines in zip(cache._sets, sets_state):
-        way_set.clear()
-        for addr, prefetch, off_path, udp_candidate, dirty in lines:
-            way_set[addr] = CacheLine(
-                addr, prefetch, off_path, udp_candidate, dirty
-            )
 
 
 def restore_warmup(sim: "Simulator", blob: bytes) -> None:
@@ -287,24 +256,21 @@ def restore_warmup(sim: "Simulator", blob: bytes) -> None:
         oracle._occurrences.update(oracle_state["occurrences"])
 
         bpu = sim.bpu
-        # In place: TAGE holds the same GlobalHistory object.
+        # In place: TAGE holds the same GlobalHistory object, and the BTB is
+        # aliased by registry-wired hooks — nothing is swapped, only loaded.
         bpu.history.restore(state["history"])
-        tage = bpu.tage
-        tage.base = tage_state["base"]
-        tage.tables = tage_state["tables"]
-        tage.use_alt_counter = tage_state["use_alt_counter"]
-        tage._tick = tage_state["tick"]
-        bpu.btb = state["btb"]
-        bpu.ibtb = state["ibtb"]
+        bpu.tage.load_state(tage_state)
+        bpu.btb.load_state(state["btb"])
+        bpu.ibtb.load_state(state["ibtb"])
         ras_state = state["ras"]
         bpu.ras._stack[:] = ras_state["stack"]
         bpu.ras.overflows = ras_state["overflows"]
         bpu.ras.underflows = ras_state["underflows"]
 
-        _restore_cache(sim.l1i, caches["l1i"])
-        _restore_cache(sim.hierarchy.l1d, caches["l1d"])
-        _restore_cache(sim.hierarchy.l2, caches["l2"])
-        _restore_cache(sim.hierarchy.llc, caches["llc"])
+        sim.l1i.load_lines(caches["l1i"])
+        sim.hierarchy.l1d.load_lines(caches["l1d"])
+        sim.hierarchy.l2.load_lines(caches["l2"])
+        sim.hierarchy.llc.load_lines(caches["llc"])
 
         useful = state["useful_set"]
         if (useful is None) != (sim.udp is None):

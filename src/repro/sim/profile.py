@@ -45,9 +45,20 @@ _STAGE_ROOTS = (
 )
 _STAGE_ORDER = ("fills", "backend", "fetch/decode", "fdip-scan", "generate")
 
+# Registry-wired hooks whose cost hides *inside* the stage sub-trees above:
+# fill observers run inside the fills stage, the BTB hooks inside whichever
+# stage the active technique calls them from.  Attributed as their own
+# nested section so a technique's hook overhead is visible at a glance.
+# A None file suffix matches any module (fill observers are per-technique).
+_HOOK_ROOTS = (
+    ("on_line_filled", None, "on_line_filled"),
+    ("fill_btb", "branch/unit.py", "fill_btb"),
+    ("btb_contains", "sim/simulator.py", "_btb_contains_hook"),
+)
+
 
 def build_simulator(
-    workload: str, config: SimConfig, seed: int = 1
+    workload: str, config: SimConfig, seed: int = 1, vector: bool | None = None
 ) -> Simulator:
     """Construct a Simulator for one suite workload, bypassing the engine.
 
@@ -63,7 +74,7 @@ def build_simulator(
             config.core, load_dependence_fraction=prof.load_dependence_fraction
         )
         config = config.replace(core=core)
-    return Simulator(program, config, data_profile=prof.data)
+    return Simulator(program, config, data_profile=prof.data, vector=vector)
 
 
 @dataclass
@@ -111,6 +122,9 @@ class ProfileReport:
     step_seconds: float  # cumulative time inside Simulator.step()
     stages: list[StageTime]
     step_overhead_seconds: float  # step() minus the five stage sub-trees
+    # Registry-wired hook sub-trees (fill observers, late-bound BTB hooks);
+    # nested inside the stages above, never added to their sum.
+    hooks: list[StageTime]
     top_functions: list[FunctionTime]
 
     def as_dict(self) -> dict:
@@ -157,6 +171,7 @@ def profile_run(
 
     step_seconds = 0.0
     stage_totals = {name: StageTime(name, 0.0, 0) for name in _STAGE_ORDER}
+    hook_totals = {label: StageTime(label, 0.0, 0) for label, _, _ in _HOOK_ROOTS}
     for func, (cc, _nc, _tot, cum, _callers) in raw.items():
         filename, _line, name = func
         path = filename.replace("\\", "/")
@@ -167,6 +182,11 @@ def profile_run(
             if name == fn_name and path.endswith(suffix):
                 stage_totals[stage].seconds += cum
                 stage_totals[stage].calls += cc
+                break
+        for label, suffix, fn_name in _HOOK_ROOTS:
+            if name == fn_name and (suffix is None or path.endswith(suffix)):
+                hook_totals[label].seconds += cum
+                hook_totals[label].calls += cc
                 break
 
     rows = sorted(raw.items(), key=lambda item: item[1][2], reverse=True)
@@ -198,6 +218,10 @@ def profile_run(
         step_seconds=step_seconds,
         stages=[stage_totals[name] for name in _STAGE_ORDER],
         step_overhead_seconds=max(0.0, step_seconds - staged),
+        hooks=[
+            hook_totals[label] for label, _, _ in _HOOK_ROOTS
+            if hook_totals[label].calls
+        ],
         top_functions=top_functions,
     )
 
@@ -229,6 +253,15 @@ def format_report(report: ProfileReport) -> str:
         f"    {'step overhead':<13} {report.step_overhead_seconds:8.3f}s  {share:5.1f}%"
         "  (fast-forward probe, resteers, bookkeeping)"
     )
+    if report.hooks:
+        lines.append("")
+        lines.append("  registry-wired hooks (nested inside the stages above):")
+        for hook in report.hooks:
+            share = 100.0 * hook.seconds / denom
+            lines.append(
+                f"    {hook.name:<13} {hook.seconds:8.3f}s  {share:5.1f}%"
+                f"  ({hook.calls} calls)"
+            )
     lines.append("")
     lines.append("  hottest functions (by self time):")
     lines.append(

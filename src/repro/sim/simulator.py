@@ -35,7 +35,8 @@ from repro.frontend.bpu import DecoupledFrontend
 from repro.frontend.fdip import FDIPEngine
 from repro.frontend.fetch_block import RESTEER_AT_EXECUTE, FTQEntry, PendingResteer
 from repro.frontend.ftq import FetchTargetQueue
-from repro.memory.cache import CacheLine, SetAssocCache
+from repro.common.vector import resolve_vector
+from repro.memory.cache import CacheLine, make_cache
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mshr import MSHRFile
 from repro.prefetchers.base import FrontendHooks
@@ -55,10 +56,15 @@ class Simulator:
         config: SimConfig,
         data_profile: DataProfile | None = None,
         rng_seed: int | None = None,
+        vector: bool | None = None,
     ) -> None:
         config.validate()
         self.program = program
         self.config = config
+        # Array-oriented (SoA) kernels vs. the object oracle; byte-identical
+        # counters either way (tests/sim/test_vector.py, REPRO_NO_VECTOR).
+        self.vector_enabled = resolve_vector(vector)
+        vec = self.vector_enabled
         # Stochastic measured-region components (data addresses, backend
         # latency draws) may use a seed decoupled from the synthesis seed —
         # interval sampling derives one per interval.  Functional state
@@ -69,7 +75,7 @@ class Simulator:
         self.cycle = 0
 
         self.oracle = OracleCursor(program)
-        self.bpu = BranchPredictionUnit(config.branch, self.counters)
+        self.bpu = BranchPredictionUnit(config.branch, self.counters, vector=vec)
         self.ftq = FetchTargetQueue(
             config.frontend.ftq_depth, config.frontend.ftq_max_physical
         )
@@ -82,9 +88,10 @@ class Simulator:
             config.frontend,
             self.counters,
             path_estimator=self.udp.path_estimator if self.udp is not None else None,
+            vector=vec,
         )
-        self.hierarchy = MemoryHierarchy(config.memory, self.counters)
-        self.l1i = SetAssocCache(config.memory.l1i)
+        self.hierarchy = MemoryHierarchy(config.memory, self.counters, vector=vec)
+        self.l1i = make_cache(config.memory.l1i, vec)
         self.l1i.eviction_hook = self._on_l1i_eviction
         self.mshr = MSHRFile(config.memory.l1i.mshr_entries)
         # Technique construction is fully registry-driven: the capability
@@ -106,11 +113,9 @@ class Simulator:
             program=program,
             counters=self.counters,
             btb_fill=bpu.fill_btb if caps.hooks_btb else None,
-            # Late-bound through the facade: checkpoint restore swaps the
-            # BTB object, so a bound method of the BTB itself would go stale.
-            btb_contains=(
-                (lambda pc: bpu.btb.contains(pc)) if caps.hooks_btb else None
-            ),
+            # Late-bound through the facade (a named method, so `repro
+            # profile` can attribute the hook's cost as its own stage).
+            btb_contains=self._btb_contains_hook if caps.hooks_btb else None,
             ftq=self.ftq if caps.hooks_ftq else None,
         )
         self.prefetcher = technique.build(config.prefetcher.params, program, hooks)
@@ -124,8 +129,15 @@ class Simulator:
             data_profile if data_profile is not None else DataProfile(), self.rng_seed
         )
         self.backend = BackendCore(
-            config.core, self.hierarchy, self.data_gen, self.counters, seed=self.rng_seed
+            config.core,
+            self.hierarchy,
+            self.data_gen,
+            self.counters,
+            seed=self.rng_seed,
+            vector=vec,
         )
+        if vec:
+            self.backend.install_dep_table(program.code_end)
         if self.udp is not None:
             self.backend.retire_hook = self.udp.on_retire
 
@@ -486,6 +498,12 @@ class Simulator:
             self._c_l1i_fills()
             if fill_observer is not None:
                 fill_observer.on_line_filled(entry.line_addr)
+
+    # -- registry-wired hooks ---------------------------------------------------------
+
+    def _btb_contains_hook(self, pc: int) -> bool:
+        """Technique-facing BTB presence probe (late-bound via the facade)."""
+        return self.bpu.btb.contains(pc)
 
     # -- resteer ---------------------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""SoA vector kernels: byte-identical equivalence with the object oracle.
+
+Style of ``tests/sim/test_fastforward.py``: the array-oriented kernels
+(SoA TAGE/BTB/cache state, the planned fetch-window walker, the precomputed
+dep-flag table, issue-scan wake gating) must be pure wall-clock
+optimizations — for any (workload, preset) pair the final cycle count and
+every measured counter must match the object-based implementations exactly.
+The object path stays in the tree (``REPRO_NO_VECTOR`` / ``vector=False``)
+precisely so it can serve as the oracle.
+
+Checkpoints must also be layout-neutral: a warmup blob captured in either
+mode must restore into either mode and still reproduce the from-scratch
+counters (schema 2 serializes logical state, not object layout).
+"""
+
+import pytest
+
+from repro.sim import checkpoint as ckpt
+from repro.sim.presets import PRESET_BUILDERS
+from repro.sim.profile import build_simulator
+from repro.sim.simulator import Simulator
+from repro.workloads import store as program_store
+from repro.workloads.profiles import get_profile
+
+N = 4_000
+SEED = 1
+
+
+def _run(workload: str, preset: str, n: int, vector: bool):
+    config = PRESET_BUILDERS[preset](n)
+    simulator = build_simulator(workload, config, vector=vector)
+    simulator.run()
+    return simulator
+
+
+@pytest.mark.parametrize("preset", sorted(PRESET_BUILDERS))
+def test_vector_counters_identical(preset):
+    vec = _run("gcc", preset, N, vector=True)
+    obj = _run("gcc", preset, N, vector=False)
+    assert vec.cycle == obj.cycle
+    assert vec.measured_counters() == obj.measured_counters()
+
+
+@pytest.mark.parametrize("workload", ["verilator", "xgboost"])
+def test_vector_counters_identical_stress_workloads(workload):
+    # The two pathological frontends from the paper, on the preset built to
+    # maximize icache-miss churn through the SoA cache arrays.
+    vec = _run(workload, "miss-heavy", N, vector=True)
+    obj = _run(workload, "miss-heavy", N, vector=False)
+    assert vec.cycle == obj.cycle
+    assert vec.measured_counters() == obj.measured_counters()
+
+
+def test_env_var_disables_vector(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+    config = PRESET_BUILDERS["baseline"](N)
+    simulator = build_simulator("gcc", config)
+    assert not simulator.vector_enabled
+
+
+def test_explicit_vector_flag_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+    config = PRESET_BUILDERS["baseline"](N)
+    simulator = build_simulator("gcc", config, vector=True)
+    assert simulator.vector_enabled
+
+
+@pytest.mark.parametrize("capture_vec", [True, False])
+@pytest.mark.parametrize("restore_vec", [True, False])
+def test_checkpoint_round_trips_across_modes(
+    tmp_path, monkeypatch, capture_vec, restore_vec
+):
+    """A warmup blob is layout-neutral: any capture/restore mode combo must
+    reproduce the from-scratch counters of the restoring mode."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CHECKPOINT", raising=False)
+    config = PRESET_BUILDERS["udp"](N, SEED)
+    prof = get_profile("gcc")
+    program = program_store.program_for("gcc", SEED)
+
+    donor = Simulator(
+        program, config, data_profile=prof.data, vector=capture_vec
+    )
+    donor.functional_warmup(config.functional_warmup_blocks)
+    blob = ckpt.capture_warmup(donor)
+
+    restored = Simulator(
+        program, config, data_profile=prof.data, vector=restore_vec
+    )
+    ckpt.restore_warmup(restored, blob)
+    restored.run()
+
+    scratch = Simulator(
+        program, config, data_profile=prof.data, vector=restore_vec
+    )
+    scratch.functional_warmup(config.functional_warmup_blocks)
+    scratch.run()
+
+    assert restored.cycle == scratch.cycle
+    assert restored.measured_counters() == scratch.measured_counters()
