@@ -5,13 +5,18 @@ Unlike the ``bench_fig*.py`` harness (which times *experiments* through the
 cached engine), this script times raw :class:`Simulator` runs — the object
 of study is the simulator itself, so every run is built fresh and nothing
 touches the result cache.  For each preset it measures retired-KIPS
-(thousands of simulated instructions per wall-clock second) in the **fast**
-configuration — array-oriented SoA kernels plus idle-cycle fast-forward —
-and in the **naive** oracle configuration — object-based structures and the
-one-cycle-at-a-time stepper (``REPRO_NO_VECTOR`` + ``REPRO_NO_FASTFORWARD``
-semantics).  The median over ``--reps`` interleaved repetitions is reported
-(container wall-clock is noisy), and both modes are cross-checked for
-byte-identical ``measured_counters()``.
+(thousands of simulated instructions per wall-clock second) in three
+configurations: **compiled** — the runtime-built C kernels over the SoA
+buffers plus idle-cycle fast-forward — **fast** — the interpreted
+array-oriented SoA kernels plus fast-forward (``REPRO_NO_COMPILED``
+semantics) — and the **naive** oracle configuration — object-based
+structures and the one-cycle-at-a-time stepper (``REPRO_NO_VECTOR`` +
+``REPRO_NO_FASTFORWARD`` semantics).  The median over ``--reps``
+interleaved repetitions is reported (container wall-clock is noisy), and
+all modes are cross-checked for byte-identical ``measured_counters()``.
+On a compiler-less host the compiled mode silently falls back to the
+interpreted fast path; the row records ``compiled_enabled`` so a ~1.0x
+compiled speedup is attributable.
 
 The committed reference results live in ``BENCH_throughput.json`` at the
 repo root; regenerate with::
@@ -48,58 +53,79 @@ DEFAULT_OUT = os.path.join(
 )
 
 
-def _run_once(workload: str, preset: str, n: int, seed: int, fast: bool):
+def _run_once(
+    workload: str, preset: str, n: int, seed: int, fast: bool, compiled: bool
+):
     """One fresh simulation; returns (simulator, wall seconds).
 
-    ``fast=True`` is the full fast configuration (SoA vector kernels +
-    idle-cycle fast-forward); ``fast=False`` is the pure object oracle with
-    the naive stepper, regardless of the ambient ``REPRO_NO_*`` env.
+    ``fast=True`` is the interpreted fast configuration (SoA vector kernels
+    + idle-cycle fast-forward); adding ``compiled=True`` swaps the hot
+    leaves for the runtime-built C kernels; ``fast=False`` is the pure
+    object oracle with the naive stepper, regardless of the ambient
+    ``REPRO_NO_*`` env.
     """
     config = PRESET_BUILDERS[preset](n, seed)
-    simulator = build_simulator(workload, config, seed, vector=fast)
+    simulator = build_simulator(
+        workload, config, seed, vector=fast, compiled=compiled
+    )
     simulator.fast_forward_enabled = fast
     started = time.perf_counter()
     simulator.run()
     return simulator, time.perf_counter() - started
 
 
-def bench_preset(workload: str, preset: str, n: int, seed: int, reps: int) -> dict:
-    """Benchmark one preset; fast/naive reps are interleaved against drift."""
-    fast_secs: list[float] = []
-    naive_secs: list[float] = []
-    fast_sim = naive_sim = None
-    for _ in range(reps):
-        sim, secs = _run_once(workload, preset, n, seed, fast=True)
-        fast_secs.append(secs)
-        fast_sim = sim
-        sim, secs = _run_once(workload, preset, n, seed, fast=False)
-        naive_secs.append(secs)
-        naive_sim = sim
+# (label, fast, compiled) for the three benchmarked configurations.
+_MODES = (
+    ("compiled", True, True),
+    ("fast", True, False),
+    ("naive", False, False),
+)
 
-    retired = fast_sim.backend.retired_instructions
-    fast_kips = [retired / s / 1000.0 for s in fast_secs]
-    naive_kips = [retired / s / 1000.0 for s in naive_secs]
-    fast_median = median(fast_kips)
-    naive_median = median(naive_kips)
-    identical = fast_sim.measured_counters() == naive_sim.measured_counters()
+
+def bench_preset(workload: str, preset: str, n: int, seed: int, reps: int) -> dict:
+    """Benchmark one preset; mode reps are interleaved against drift."""
+    secs: dict[str, list[float]] = {label: [] for label, _, _ in _MODES}
+    sims: dict[str, object] = {}
+    for _ in range(reps):
+        for label, fast, compiled in _MODES:
+            sim, s = _run_once(workload, preset, n, seed, fast, compiled)
+            secs[label].append(s)
+            sims[label] = sim
+
+    retired = sims["fast"].backend.retired_instructions
+    kips = {
+        label: [retired / s / 1000.0 for s in secs[label]] for label in secs
+    }
+    medians = {label: median(kips[label]) for label in kips}
+    reference = sims["fast"].measured_counters()
+    identical = all(
+        sims[label].measured_counters() == reference for label, _, _ in _MODES
+    )
     return {
         "preset": preset,
         "workload": workload,
         "instructions": retired,
-        "cycles": fast_sim.cycle,
+        "cycles": sims["fast"].cycle,
+        "compiled_enabled": sims["compiled"].compiled_enabled,
+        "compiled": {
+            "median_kips": round(medians["compiled"], 1),
+            "kips": [round(k, 1) for k in kips["compiled"]],
+            "steps_executed": sims["compiled"].steps_executed,
+        },
         "fast": {
-            "median_kips": round(fast_median, 1),
-            "kips": [round(k, 1) for k in fast_kips],
-            "steps_executed": fast_sim.steps_executed,
-            "ff_cycles_skipped": fast_sim.ff_cycles_skipped,
-            "ff_jumps": fast_sim.ff_jumps,
+            "median_kips": round(medians["fast"], 1),
+            "kips": [round(k, 1) for k in kips["fast"]],
+            "steps_executed": sims["fast"].steps_executed,
+            "ff_cycles_skipped": sims["fast"].ff_cycles_skipped,
+            "ff_jumps": sims["fast"].ff_jumps,
         },
         "naive": {
-            "median_kips": round(naive_median, 1),
-            "kips": [round(k, 1) for k in naive_kips],
-            "steps_executed": naive_sim.steps_executed,
+            "median_kips": round(medians["naive"], 1),
+            "kips": [round(k, 1) for k in kips["naive"]],
+            "steps_executed": sims["naive"].steps_executed,
         },
-        "speedup": round(fast_median / naive_median, 2),
+        "speedup": round(medians["fast"] / medians["naive"], 2),
+        "compiled_speedup": round(medians["compiled"] / medians["fast"], 2),
         "counters_identical": identical,
     }
 
@@ -121,21 +147,28 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless the best per-preset fast/naive speedup "
              "reaches this factor (CI smoke gate)",
     )
+    parser.add_argument(
+        "--min-compiled-speedup", type=float, default=None,
+        help="exit non-zero unless the best per-preset compiled/fast "
+             "speedup reaches this factor (no-op when the kernels did not "
+             "build — fallback hosts cannot gate on compiled throughput)",
+    )
     args = parser.parse_args(argv)
 
     presets = [p.strip() for p in args.presets.split(",") if p.strip()]
     results = []
-    print(f"{'preset':<14} {'fast KIPS':>10} {'naive KIPS':>11} "
-          f"{'speedup':>8} {'steps/cycles':>16} identical")
+    print(f"{'preset':<14} {'comp KIPS':>10} {'fast KIPS':>10} "
+          f"{'naive KIPS':>11} {'comp/fast':>10} {'fast/naive':>11} identical")
     for preset in presets:
         row = bench_preset(
             args.workload, preset, args.instructions, args.seed, args.reps
         )
         results.append(row)
         print(
-            f"{preset:<14} {row['fast']['median_kips']:>10.1f} "
-            f"{row['naive']['median_kips']:>11.1f} {row['speedup']:>7.2f}x "
-            f"{row['fast']['steps_executed']:>7}/{row['cycles']:<8} "
+            f"{preset:<14} {row['compiled']['median_kips']:>10.1f} "
+            f"{row['fast']['median_kips']:>10.1f} "
+            f"{row['naive']['median_kips']:>11.1f} "
+            f"{row['compiled_speedup']:>9.2f}x {row['speedup']:>10.2f}x "
             f"{row['counters_identical']}"
         )
         if not row["counters_identical"]:
@@ -168,6 +201,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"speedup gate passed: best {best:.2f}x >= "
               f"{args.min_speedup:.2f}x")
+
+    if args.min_compiled_speedup is not None:
+        if not any(row["compiled_enabled"] for row in results):
+            print("compiled gate skipped: kernels unavailable on this host")
+        else:
+            best = max(row["compiled_speedup"] for row in results)
+            if best < args.min_compiled_speedup:
+                print(
+                    f"ERROR: best compiled speedup {best:.2f}x below "
+                    f"required {args.min_compiled_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"compiled gate passed: best {best:.2f}x >= "
+                  f"{args.min_compiled_speedup:.2f}x")
     return 0
 
 

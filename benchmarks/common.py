@@ -61,6 +61,7 @@ def _env_knobs() -> tuple[str, ...]:
         os.environ.get("REPRO_NO_VECTOR", ""),
         os.environ.get("REPRO_NO_FASTFORWARD", ""),
         os.environ.get("REPRO_NO_CHECKPOINT", ""),
+        os.environ.get("REPRO_NO_COMPILED", ""),
     )
 
 

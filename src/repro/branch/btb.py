@@ -221,6 +221,139 @@ class BranchTargetBufferVec(BranchTargetBuffer):
         self.misses = state["misses"]
 
 
+class BranchTargetBufferC(BranchTargetBufferVec):
+    """Compiled-kernel BTB: probe/fill run as single C calls over the SoA ways.
+
+    Replacement state moves from insertion-ordered dicts to a monotonic
+    stamp array (victim = minimum stamp) — equivalent because every dict
+    touch is a move-to-end, i.e. a new maximum stamp.  The layout-neutral
+    ``state_dict`` format (LRU→MRU per set) round-trips with the other two
+    implementations.
+    """
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self._kinds = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._targets = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._pcs = np.full((self.num_sets, assoc), -1, dtype=np.int64)
+        self._stamps = np.zeros(self.num_sets * assoc, dtype=np.int64)
+        self._maps = None  # recency lives in the stamp array; fail loudly
+        self._free = None
+        self._pcs_f = memoryview(self._pcs.reshape(-1))
+        self._kinds_f = memoryview(self._kinds.reshape(-1))
+        self._targets_f = memoryview(self._targets.reshape(-1))
+        self._stamps_f = memoryview(self._stamps)
+        di = np.zeros(10, dtype=np.int64)
+        di[0] = self._pcs.ctypes.data
+        di[1] = self._kinds.ctypes.data
+        di[2] = self._targets.ctypes.data
+        di[3] = self._stamps.ctypes.data
+        di[4] = self.num_sets
+        di[5] = assoc
+        # di[6]=stamp, di[7]=hits, di[8]=misses, di[9]=occupancy
+        self._di = di
+        self._dmv = memoryview(di)
+        self._desc = int(di.ctypes.data)
+        self._k_probe = kernels.btb_probe
+        self._k_contains = kernels.btb_contains
+        self._k_fill = kernels.btb_fill
+
+    def probe(self, pc: int) -> BTBEntry | None:
+        """Look up the branch at ``pc``; update recency on hit."""
+        g = self._k_probe(self._desc, pc)
+        if g < 0:
+            return None
+        return BTBEntry(pc, BranchKind(self._kinds_f[g]), self._targets_f[g])
+
+    def contains(self, pc: int) -> bool:
+        """Tag check without touching recency or statistics."""
+        return bool(self._k_contains(self._desc, pc))
+
+    def fill(self, pc: int, kind: BranchKind, target: int) -> None:
+        """Insert or refresh the entry for the branch at ``pc``."""
+        self._k_fill(self._desc, pc, int(kind), target)
+
+    @property
+    def hits(self) -> int:
+        return int(self._dmv[7])
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._di[7] = value
+
+    @property
+    def misses(self) -> int:
+        return int(self._dmv[8])
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._di[8] = value
+
+    @property
+    def occupancy(self) -> int:
+        return int(self._dmv[9])
+
+    def _resident_lru_to_mru(self, set_index: int) -> list[int]:
+        base = set_index * self.assoc
+        ways = [
+            base + w
+            for w in range(self.assoc)
+            if self._pcs_f[base + w] != -1
+        ]
+        ways.sort(key=lambda g: self._stamps_f[g])
+        return ways
+
+    def state_dict(self) -> dict:
+        """Same layout-neutral format as :meth:`BranchTargetBuffer.state_dict`."""
+        return {
+            "sets": [
+                [
+                    (
+                        int(self._pcs_f[g]),
+                        int(self._kinds_f[g]),
+                        int(self._targets_f[g]),
+                    )
+                    for g in self._resident_lru_to_mru(s)
+                ]
+                for s in range(self.num_sets)
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("BTB geometry mismatch")
+        self._pcs[:] = -1
+        self._stamps[:] = 0
+        stamp = int(self._di[6])
+        occupancy = 0
+        for s, entries in enumerate(sets_state):
+            base = s * self.assoc
+            for w, (pc, kind, target) in enumerate(entries):
+                stamp += 1
+                g = base + w
+                self._pcs_f[g] = pc
+                self._kinds_f[g] = kind
+                self._targets_f[g] = target
+                self._stamps_f[g] = stamp
+                occupancy += 1
+        self._di[6] = stamp
+        self._di[9] = occupancy
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
 class IndirectTargetBuffer:
     """Path-history-hashed predictor for indirect branch targets."""
 
@@ -372,7 +505,118 @@ class IndirectTargetBufferVec(IndirectTargetBuffer):
         self.misses = state["misses"]
 
 
-def btb_from_config(config: BranchConfig, vector: bool | None = None):
+class IndirectTargetBufferC(IndirectTargetBufferVec):
+    """Compiled-kernel iBTB: predict/train as single C calls per branch.
+
+    The set/tag hash stays in Python (a handful of integer ops on values the
+    caller already holds); the descriptor shares the BTB kernel's layout with
+    tags stored in the ``pcs`` array and the ``kinds`` plane unused.
+    """
+
+    def __init__(self, entries: int, assoc: int, history_bits: int = 12) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.history_bits = history_bits
+        self._tags = np.full((self.num_sets, assoc), -1, dtype=np.int64)
+        self._targets = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._stamps = np.zeros(self.num_sets * assoc, dtype=np.int64)
+        self._maps = None  # recency lives in the stamp array; fail loudly
+        self._free = None
+        self._tags_f = memoryview(self._tags.reshape(-1))
+        self._targets_f = memoryview(self._targets.reshape(-1))
+        self._stamps_f = memoryview(self._stamps)
+        di = np.zeros(10, dtype=np.int64)
+        di[0] = self._tags.ctypes.data
+        di[1] = self._targets.ctypes.data  # kinds plane: never touched for iBTB
+        di[2] = self._targets.ctypes.data
+        di[3] = self._stamps.ctypes.data
+        di[4] = self.num_sets
+        di[5] = assoc
+        # di[6]=stamp, di[7]=hits, di[8]=misses, di[9]=occupancy
+        self._di = di
+        self._dmv = memoryview(di)
+        self._desc = int(di.ctypes.data)
+        self._k_predict = kernels.ibtb_predict
+        self._k_train = kernels.ibtb_train
+
+    def predict(self, pc: int, history: int) -> int | None:
+        """Predicted target for the indirect branch at ``pc``, or None."""
+        set_index, tag = self._key(pc, history)
+        target = self._k_predict(self._desc, set_index, tag)
+        return None if target < 0 else target
+
+    def train(self, pc: int, history: int, target: int) -> None:
+        """Record the resolved target under the current path history."""
+        set_index, tag = self._key(pc, history)
+        self._k_train(self._desc, set_index, tag, target)
+
+    @property
+    def hits(self) -> int:
+        return int(self._dmv[7])
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._di[7] = value
+
+    @property
+    def misses(self) -> int:
+        return int(self._dmv[8])
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._di[8] = value
+
+    def state_dict(self) -> dict:
+        sets_out = []
+        for s in range(self.num_sets):
+            base = s * self.assoc
+            ways = [
+                base + w
+                for w in range(self.assoc)
+                if self._tags_f[base + w] != -1
+            ]
+            ways.sort(key=lambda g: self._stamps_f[g])
+            sets_out.append(
+                [(int(self._tags_f[g]), int(self._targets_f[g])) for g in ways]
+            )
+        return {"sets": sets_out, "hits": self.hits, "misses": self.misses}
+
+    def load_state(self, state: dict) -> None:
+        sets_state = state["sets"]
+        if len(sets_state) != self.num_sets:
+            raise ValueError("iBTB geometry mismatch")
+        self._tags[:] = -1
+        self._stamps[:] = 0
+        stamp = int(self._di[6])
+        occupancy = 0
+        for s, entries in enumerate(sets_state):
+            base = s * self.assoc
+            for w, (tag, target) in enumerate(entries):
+                stamp += 1
+                g = base + w
+                self._tags_f[g] = tag
+                self._targets_f[g] = target
+                self._stamps_f[g] = stamp
+                occupancy += 1
+        self._di[6] = stamp
+        self._di[9] = occupancy
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
+
+def btb_from_config(
+    config: BranchConfig,
+    vector: bool | None = None,
+    compiled: bool | None = None,
+):
     """Construct the branch-discovery BTB.
 
     ``btb_levels == 1`` gives Table II's monolithic BTB; ``2`` gives the
@@ -390,12 +634,24 @@ def btb_from_config(config: BranchConfig, vector: bool | None = None):
             vector=vector,
         )
     if resolve_vector(vector):
+        from repro.common.cc import resolve_compiled
+
+        if resolve_compiled(compiled):
+            return BranchTargetBufferC(config.btb_entries, config.btb_assoc)
         return BranchTargetBufferVec(config.btb_entries, config.btb_assoc)
     return BranchTargetBuffer(config.btb_entries, config.btb_assoc)
 
 
-def ibtb_from_config(config: BranchConfig, vector: bool | None = None):
+def ibtb_from_config(
+    config: BranchConfig,
+    vector: bool | None = None,
+    compiled: bool | None = None,
+):
     """Construct the indirect target buffer per Table II."""
     if resolve_vector(vector):
+        from repro.common.cc import resolve_compiled
+
+        if resolve_compiled(compiled):
+            return IndirectTargetBufferC(config.ibtb_entries, config.ibtb_assoc)
         return IndirectTargetBufferVec(config.ibtb_entries, config.ibtb_assoc)
     return IndirectTargetBuffer(config.ibtb_entries, config.ibtb_assoc)

@@ -80,3 +80,120 @@ class GlobalHistory:
         self.bits, folded_values = state
         for folded, value in zip(self.folded, folded_values):
             folded.restore(value)
+
+
+class _FoldedSlot:
+    """Attribute-compatible view of one folding register in the SoA array."""
+
+    __slots__ = ("_arr", "_idx", "length", "width", "_out_shift", "_mask")
+
+    def __init__(self, arr, idx: int, length: int, width: int) -> None:
+        self._arr = arr
+        self._idx = idx
+        self.length = length
+        self.width = width
+        self._out_shift = length % width
+        self._mask = (1 << width) - 1
+
+    @property
+    def folded(self) -> int:
+        return int(self._arr[self._idx])
+
+    @folded.setter
+    def folded(self, value: int) -> None:
+        self._arr[self._idx] = value
+
+    def snapshot(self) -> int:
+        return int(self._arr[self._idx])
+
+    def restore(self, value: int) -> None:
+        self._arr[self._idx] = value
+
+
+class GlobalHistoryC(GlobalHistory):
+    """Compiled-kernel history: raw bits in uint64 words, foldings in SoA.
+
+    ``push`` runs as one C call (``hist_push``) updating every folding
+    register and shifting the word array; the folded values live in an int64
+    array the TAGE descriptor points into, so the compiled predictor reads
+    them without any Python round-trip.  ``checkpoint``/``restore`` keep the
+    exact interpreted format ``(bits_int, tuple(folded))`` — warmup
+    checkpoints round-trip across all three modes.
+    """
+
+    def __init__(self, max_length: int, foldings: list[tuple[int, int]]) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        self.max_length = max_length
+        self._mask = (1 << max_length) - 1
+        count = len(foldings)
+        self._folded_arr = np.zeros(max(count, 1), dtype=np.int64)
+        self._folded_mv = memoryview(self._folded_arr)[:count]
+        self._lengths = np.array([l for l, _ in foldings] + [0], dtype=np.int64)
+        self._out_shifts = np.array([l % w for l, w in foldings] + [0], dtype=np.int64)
+        self._widths = np.array([w for _, w in foldings] + [1], dtype=np.int64)
+        self._masks_arr = np.array(
+            [(1 << w) - 1 for _, w in foldings] + [0], dtype=np.int64
+        )
+        # The shifted register covers max_length bits; extra zero words are
+        # allocated (but never shifted into) so an out-bit read for a folding
+        # length beyond max_length sees 0 — exactly what the interpreted
+        # ``(bits >> (length - 1)) & 1`` yields on the masked integer.
+        self._n_words = max(1, (max_length + 63) // 64)
+        max_len = max([max_length] + [l for l, _ in foldings])
+        alloc_words = max(self._n_words, (max_len + 63) // 64)
+        self._words = np.zeros(alloc_words, dtype=np.uint64)
+        self._words_mv = memoryview(self._words)
+        top_bits = max_length - 64 * (self._n_words - 1)
+        top_mask = (1 << top_bits) - 1
+        di = np.zeros(9, dtype=np.int64)
+        di[0] = self._folded_arr.ctypes.data
+        di[1] = self._lengths.ctypes.data
+        di[2] = self._out_shifts.ctypes.data
+        di[3] = self._widths.ctypes.data
+        di[4] = self._masks_arr.ctypes.data
+        di[5] = count
+        di[6] = self._words.ctypes.data
+        di[7] = self._n_words
+        di.view(np.uint64)[8] = top_mask
+        self._di = di
+        self._desc = int(di.ctypes.data)
+        self._k_push = kernels.hist_push
+        self.folded = [
+            _FoldedSlot(self._folded_arr, i, length, width)
+            for i, (length, width) in enumerate(foldings)
+        ]
+
+    @property
+    def bits(self) -> int:
+        return int.from_bytes(self._words[: self._n_words].tobytes(), "little")
+
+    @bits.setter
+    def bits(self, value: int) -> None:
+        import numpy as np
+
+        masked = value & self._mask
+        self._words[:] = 0
+        self._words[: self._n_words] = np.frombuffer(
+            masked.to_bytes(self._n_words * 8, "little"), dtype=np.uint64
+        )
+
+    def push(self, taken: bool) -> None:
+        self._k_push(self._desc, 1 if taken else 0)
+
+    def low_bits(self, n: int) -> int:
+        if n <= 64:
+            return self._words_mv[0] & ((1 << n) - 1)
+        return self.bits & ((1 << n) - 1)
+
+    def checkpoint(self) -> tuple[int, tuple[int, ...]]:
+        return self.bits, tuple(self._folded_mv)
+
+    def restore(self, state: tuple[int, tuple[int, ...]]) -> None:
+        self.bits = state[0]
+        self._folded_arr[: len(state[1])] = state[1]

@@ -429,10 +429,153 @@ class TagePredictorVec(TagePredictor):
         self._tick = state["tick"]
 
 
+class TagePredictorC(TagePredictorVec):
+    """TAGE with compiled predict/update kernels over the SoA tables.
+
+    One C call per prediction (all index/tag folds, the provider scan, and
+    the confidence classification) and one per training event (including
+    allocation and the periodic usefulness aging).  Requires the shared
+    history to be a :class:`~repro.branch.history.GlobalHistoryC`, whose
+    folded-fold array the descriptor points into.  ``use_alt_counter`` and
+    ``_tick`` live in the descriptor so C-side updates are visible to
+    ``state_dict`` — they are exposed as properties (with a pre-descriptor
+    stash, since the base ``__init__`` assigns them before the descriptor
+    exists).
+    """
+
+    def __init__(self, config: BranchConfig, history) -> None:
+        import numpy as np
+
+        from repro.common import cc
+        from repro.branch.history import GlobalHistoryC
+
+        kernels = cc.kernels()
+        if kernels is None or not isinstance(history, GlobalHistoryC):
+            raise RuntimeError("compiled kernels unavailable")
+        super().__init__(config, history)
+        size = 1 << config.tage_table_bits
+        num_tables = len(self.hist_lengths)
+        self._idx_scratch = np.zeros(max(num_tables, 1), dtype=np.int64)
+        self._tag_scratch = np.zeros(max(num_tables, 1), dtype=np.int64)
+        self._idx_mv = memoryview(self._idx_scratch)[:num_tables]
+        self._tag_mv = memoryview(self._tag_scratch)[:num_tables]
+        di = np.zeros(24, dtype=np.int64)
+        di[0] = self._tags_arr.ctypes.data
+        di[1] = self._ctrs_arr.ctypes.data
+        di[2] = self._useful_arr.ctypes.data
+        di[3] = num_tables
+        di[4] = size
+        di[5] = self._index_mask
+        di[6] = self._tag_mask
+        di[7] = config.tage_table_bits
+        di[8] = history._folded_arr.ctypes.data
+        # di[9]/di[10]: bimodal base pointer+mask, bound by _bind_base below.
+        di[11] = self.__dict__.pop("use_alt_counter")
+        di[12] = config.tage_use_alt_threshold
+        di[13] = self.__dict__.pop("_tick")
+        # di[14..21]: prediction outputs
+        di[22] = self._idx_scratch.ctypes.data
+        di[23] = self._tag_scratch.ctypes.data
+        self._di = di
+        self._dmv = memoryview(di)
+        self._desc = int(di.ctypes.data)
+        self._bind_base()
+        self._k_predict = kernels.tage_predict
+        self._k_update = kernels.tage_update
+
+    def _bind_base(self) -> None:
+        """(Re)point the descriptor at the bimodal table's buffer.
+
+        ``load_state`` replaces ``self.base`` wholesale, so the raw pointer
+        must be refreshed whenever that happens.  The bytearray is never
+        resized, so the pointer stays valid between rebinds.
+        """
+        self._base_view = self._np.frombuffer(self.base.table, dtype=self._np.uint8)
+        self._di[9] = self._base_view.ctypes.data
+        self._di[10] = self.base.size - 1
+
+    @property
+    def use_alt_counter(self) -> int:
+        di = self.__dict__.get("_di")
+        if di is None:  # base __init__ runs before the descriptor exists
+            return self.__dict__["use_alt_counter"]
+        return int(di[11])
+
+    @use_alt_counter.setter
+    def use_alt_counter(self, value: int) -> None:
+        di = self.__dict__.get("_di")
+        if di is None:
+            self.__dict__["use_alt_counter"] = value
+        else:
+            di[11] = value
+
+    @property
+    def _tick(self) -> int:
+        di = self.__dict__.get("_di")
+        if di is None:
+            return self.__dict__["_tick"]
+        return int(di[13])
+
+    @_tick.setter
+    def _tick(self, value: int) -> None:
+        di = self.__dict__.get("_di")
+        if di is None:
+            self.__dict__["_tick"] = value
+        else:
+            di[13] = value
+
+    def predict(self, pc: int) -> TagePrediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self._k_predict(self._desc, pc)
+        dmv = self._dmv
+        return TagePrediction(
+            pc=pc,
+            taken=bool(dmv[14]),
+            confidence=dmv[15],
+            provider=dmv[16],
+            provider_index=dmv[17],
+            alt_taken=bool(dmv[18]),
+            alt_provider=dmv[19],
+            alt_index=dmv[20],
+            indices=tuple(self._idx_mv),
+            tags=tuple(self._tag_mv),
+            newly_allocated=bool(dmv[21]),
+        )
+
+    def update(self, prediction: TagePrediction, taken: bool) -> None:
+        """Train with the resolved outcome of a previously made prediction."""
+        self._k_update(
+            self._desc,
+            prediction.pc,
+            1 if taken else 0,
+            1 if prediction.taken else 0,
+            prediction.provider,
+            prediction.provider_index,
+            1 if prediction.alt_taken else 0,
+            prediction.alt_provider,
+            prediction.alt_index,
+            1 if prediction.newly_allocated else 0,
+            prediction.indices,
+            prediction.tags,
+        )
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._bind_base()
+
+
 def tage_from_config(
-    config: BranchConfig, history: GlobalHistory, vector: bool | None = None
+    config: BranchConfig,
+    history: GlobalHistory,
+    vector: bool | None = None,
+    compiled: bool | None = None,
 ) -> TagePredictor:
     """Construct the TAGE predictor (SoA kernels unless ``REPRO_NO_VECTOR``)."""
     if resolve_vector(vector):
+        from repro.branch.history import GlobalHistoryC
+        from repro.common.cc import resolve_compiled
+
+        if resolve_compiled(compiled) and isinstance(history, GlobalHistoryC):
+            return TagePredictorC(config, history)
         return TagePredictorVec(config, history)
     return TagePredictor(config, history)

@@ -39,16 +39,26 @@ class BranchPredictionUnit:
         config: BranchConfig,
         counters: Counters | None = None,
         vector: bool | None = None,
+        compiled: bool | None = None,
     ) -> None:
+        from repro.common.cc import resolve_compiled
+        from repro.common.vector import resolve_vector
+
         self.config = config
         self.counters = counters if counters is not None else Counters()
         foldings = TagePredictor.expected_foldings(config)
-        self.history = GlobalHistory(config.tage_max_hist, foldings)
-        # SoA (vector-mode) predictor structures unless REPRO_NO_VECTOR; both
-        # variants are byte-identical in behaviour (tests/sim/test_vector.py).
-        self.tage = tage_from_config(config, self.history, vector)
-        self.btb = btb_from_config(config, vector)
-        self.ibtb = ibtb_from_config(config, vector)
+        if resolve_vector(vector) and resolve_compiled(compiled):
+            from repro.branch.history import GlobalHistoryC
+
+            self.history = GlobalHistoryC(config.tage_max_hist, foldings)
+        else:
+            self.history = GlobalHistory(config.tage_max_hist, foldings)
+        # SoA (vector-mode) predictor structures unless REPRO_NO_VECTOR, with
+        # compiled C kernels on top unless REPRO_NO_COMPILED; all variants are
+        # byte-identical in behaviour (tests/sim/test_vector.py).
+        self.tage = tage_from_config(config, self.history, vector, compiled)
+        self.btb = btb_from_config(config, vector, compiled)
+        self.ibtb = ibtb_from_config(config, vector, compiled)
         self.ras = ReturnAddressStack(config.ras_entries)
         self.loop = (
             LoopPredictor(config.loop_predictor_entries)

@@ -70,14 +70,32 @@ class _WindowPlan:
     ``(0, branch, ops_prefix_len)``
         a branch inside the window; ``ops_prefix_len`` is the accumulated
         ops length through the branch instruction (the taken-exit ops slice).
+
+    ``branches``/``pcs_ptr``/``n_branches`` pre-extract the branch steps for
+    the compiled off-path fast path: one ``btb_first_hit`` kernel call over
+    the pc array decides whether the whole window is walkable as a static
+    all-undetected fall-through.
     """
 
-    __slots__ = ("ops", "end", "steps")
+    __slots__ = (
+        "ops", "end", "steps", "branches", "_pcs", "pcs_ptr", "n_branches",
+        "seen_undetected",
+    )
 
-    def __init__(self, ops: bytes, end: int, steps: tuple) -> None:
+    def __init__(self, ops: bytes, end: int, steps: tuple, pcs=None) -> None:
         self.ops = ops
         self.end = end
         self.steps = steps
+        self.branches = tuple(step[1] for step in steps if step[0] == 0)
+        self._pcs = pcs  # int64 ndarray of branch pcs (owns pcs_ptr's memory)
+        self.pcs_ptr = 0 if pcs is None else int(pcs.ctypes.data)
+        self.n_branches = len(self.branches)
+        # Interned all-undetected SeenBranch records for the off-path fast
+        # path.  SeenBranch instances are never mutated after construction,
+        # so sharing them across concurrently-live FTQ entries is safe.
+        self.seen_undetected = tuple(
+            SeenBranch(b, False, False) for b in self.branches
+        )
 
 
 class DecoupledFrontend:
@@ -119,6 +137,26 @@ class DecoupledFrontend:
             # of _walk_block precomputed once per distinct start PC).
             self._plans: dict[int, _WindowPlan] = {}
             self._walk_block = self._walk_block_planned  # type: ignore[method-assign]
+            self._np = None
+            self._k_first_hit = None
+            self._btb_c = None
+            # Compiled off-path fast path: a diverged walker with no UDP path
+            # estimator only consults the BTB, so a window whose branches all
+            # miss is fully static.  Requires the compiled BTB (its raw
+            # descriptor feeds btb_first_hit); disabled per-call while a
+            # counter hook is attached (bulk bumps change the event stream).
+            if path_estimator is None:
+                from repro.branch.btb import BranchTargetBufferC
+                from repro.common import cc
+
+                if isinstance(bpu.btb, BranchTargetBufferC):
+                    kernels = cc.kernels()
+                    if kernels is not None:
+                        import numpy as np
+
+                        self._np = np
+                        self._k_first_hit = kernels.btb_first_hit
+                        self._btb_c = bpu.btb
 
     # -- per-cycle generation ----------------------------------------------
 
@@ -244,7 +282,12 @@ class DecoupledFrontend:
             self._append_ops(ops, block, cur, branch.pc + INSTR_BYTES)
             steps.append((0, branch, len(ops)))
             cur = branch.fallthrough
-        return _WindowPlan(bytes(ops), region_end, tuple(steps))
+        pcs = None
+        if self._np is not None:
+            branch_pcs = [s[1].pc for s in steps if s[0] == 0]
+            if branch_pcs:
+                pcs = self._np.array(branch_pcs, dtype=self._np.int64)
+        return _WindowPlan(bytes(ops), region_end, tuple(steps), pcs)
 
     def _walk_block_planned(self) -> FTQEntry:
         """Semantics-identical ``_walk_block`` driven by a memoized plan."""
@@ -253,6 +296,41 @@ class DecoupledFrontend:
         if plan is None:
             plan = self._build_plan(start)
             self._plans[start] = plan
+
+        if (
+            self.diverged
+            and self._btb_c is not None
+            and self.counters.hook is None
+            and (
+                plan.n_branches == 0
+                or self._k_first_hit(
+                    self._btb_c._desc, plan.pcs_ptr, plan.n_branches
+                )
+                < 0
+            )
+        ):
+            # Off-path all-undetected window: every branch misses the BTB, so
+            # the walk is the static fall-through — no oracle motion, no
+            # history pushes, no estimator.  One kernel call replaces the
+            # per-branch probe loop; the probe counters are bumped in bulk
+            # (identical totals to the scalar per-probe path).
+            entry = FTQEntry(
+                self.next_seq,
+                start,
+                plan.end,
+                False,
+                plan.ops,
+                list(plan.seen_undetected),
+                None,
+                0,
+            )
+            self.next_seq += 1
+            if plan.n_branches:
+                self._c_btb_gen_misses(plan.n_branches)
+                self._btb_c.misses += plan.n_branches
+            self.spec_pc = plan.end
+            return entry
+
         entry = FTQEntry(
             seq=self.next_seq,
             start=start,

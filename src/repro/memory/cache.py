@@ -368,8 +368,244 @@ class SetAssocCacheVec(SetAssocCache):
                 way_map[addr] = way
 
 
-def make_cache(config: CacheConfig, vector: bool | None = None) -> SetAssocCache:
-    """Build the SoA cache unless ``REPRO_NO_VECTOR`` selects the oracle."""
+class _CLineRef:
+    """A reusable write-through view of one way in a :class:`SetAssocCacheC`.
+
+    Same contract as :class:`_VecLineRef`, but addressed by the *flat* way
+    index the C kernels return (``set_idx * assoc + way``) over a 1-D
+    memoryview of the flags array — a memoryview scalar access returns a
+    plain int ~3x faster than an ndarray scalar, and these reads sit on the
+    L1I demand-hit path.
+    """
+
+    __slots__ = ("_flags", "_gidx", "line_addr")
+
+    def __init__(self, flags: memoryview) -> None:
+        self._flags = flags
+        self._gidx = 0
+        self.line_addr = 0
+
+    def _bind(self, gidx: int, line_addr: int) -> "_CLineRef":
+        self._gidx = gidx
+        self.line_addr = line_addr
+        return self
+
+    def _get(self, bit: int) -> bool:
+        return bool(self._flags[self._gidx] & bit)
+
+    def _put(self, bit: int, value: bool) -> None:
+        if value:
+            self._flags[self._gidx] |= bit
+        else:
+            self._flags[self._gidx] &= ~bit
+
+    @property
+    def prefetch_bit(self) -> bool:
+        return self._get(_PREFETCH)
+
+    @prefetch_bit.setter
+    def prefetch_bit(self, value: bool) -> None:
+        self._put(_PREFETCH, value)
+
+    @property
+    def prefetch_off_path(self) -> bool:
+        return self._get(_OFF_PATH)
+
+    @prefetch_off_path.setter
+    def prefetch_off_path(self, value: bool) -> None:
+        self._put(_OFF_PATH, value)
+
+    @property
+    def prefetch_udp_candidate(self) -> bool:
+        return self._get(_UDP)
+
+    @prefetch_udp_candidate.setter
+    def prefetch_udp_candidate(self, value: bool) -> None:
+        self._put(_UDP, value)
+
+    @property
+    def dirty(self) -> bool:
+        return self._get(_DIRTY)
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._put(_DIRTY, value)
+
+
+class SetAssocCacheC(SetAssocCacheVec):
+    """Compiled-kernel variant: probes run in C over the SoA arrays.
+
+    Replacement switches from the Vec classes' insertion-ordered dicts to
+    monotonic LRU stamps, which select the same victim (every dict touch is
+    a move-to-end, so "first key" == "minimum stamp"); way indices for new
+    lines can differ from the Vec free-list order, but way identity is
+    invisible to behaviour and to the stamp-ordered serialization.  The
+    descriptor layout is ``CacheDesc`` in ``repro/common/kernels/kernels.h``.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        super().__init__(config)
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        # The dict/free-list storage is replaced by stamp LRU; fail loudly
+        # if anything reaches for it.
+        self._maps = []
+        self._free = []
+        self._stamps = np.zeros(self.num_sets * self.assoc, dtype=np.int64)
+        self._addrs_flat = self._addrs.reshape(-1)
+        self._flags_flat = self._flags.reshape(-1)
+        di = np.zeros(11, dtype=np.int64)
+        di[0] = self._addrs.ctypes.data
+        di[1] = self._flags.ctypes.data
+        di[2] = self._stamps.ctypes.data
+        di[3] = self.num_sets
+        di[4] = self.assoc
+        di[5] = self._set_mask
+        di[6] = self.line_shift
+        di[9] = -1  # evict_addr: none yet
+        self._di = di
+        self._dmv = memoryview(di)
+        self._desc = int(di.ctypes.data)
+        self._k_lookup = kernels.cache_lookup
+        self._k_contains = kernels.cache_contains
+        self._k_install = kernels.cache_install
+        self._k_invalidate = kernels.cache_invalidate
+        self._ref = _CLineRef(memoryview(self._flags_flat))
+
+    def lookup(self, line_addr: int, touch: bool = True) -> _CLineRef | None:
+        gidx = self._k_lookup(self._desc, line_addr, 1 if touch else 0)
+        if gidx < 0:
+            return None
+        return self._ref._bind(gidx, line_addr)
+
+    def contains(self, line_addr: int) -> bool:
+        return bool(self._k_contains(self._desc, line_addr))
+
+    def install(
+        self,
+        line_addr: int,
+        prefetch: bool = False,
+        prefetch_off_path: bool = False,
+        prefetch_udp_candidate: bool = False,
+        dirty: bool = False,
+    ) -> _CLineRef:
+        flags = (
+            (_PREFETCH if prefetch else 0)
+            | (_OFF_PATH if prefetch_off_path else 0)
+            | (_UDP if prefetch_udp_candidate else 0)
+            | (_DIRTY if dirty else 0)
+        )
+        gidx = self._k_install(self._desc, line_addr, flags)
+        if self.eviction_hook is not None:
+            victim_addr = self._dmv[9]
+            if victim_addr >= 0:
+                victim_flags = self._dmv[10]
+                # Fired after the install rather than before it, which is
+                # equivalent: the hook only touches counters/UDP state, never
+                # the cache (see Simulator._on_l1i_eviction).
+                self.eviction_hook(
+                    CacheLine(
+                        victim_addr,
+                        prefetch_bit=bool(victim_flags & _PREFETCH),
+                        prefetch_off_path=bool(victim_flags & _OFF_PATH),
+                        prefetch_udp_candidate=bool(victim_flags & _UDP),
+                        dirty=bool(victim_flags & _DIRTY),
+                    )
+                )
+        return self._ref._bind(gidx, line_addr)
+
+    def invalidate(self, line_addr: int) -> bool:
+        return bool(self._k_invalidate(self._desc, line_addr))
+
+    @property
+    def occupancy(self) -> int:
+        return int(self._dmv[8])
+
+    def _iter_sets(self):
+        """Per set, the resident flat way indices in LRU->MRU (stamp) order."""
+        addrs = self._addrs_flat
+        stamps = self._stamps
+        assoc = self.assoc
+        for base in range(0, self.num_sets * assoc, assoc):
+            yield [
+                gidx
+                for _, gidx in sorted(
+                    (int(stamps[base + w]), base + w)
+                    for w in range(assoc)
+                    if addrs[base + w] != -1
+                )
+            ]
+
+    def resident_lines(self) -> list[int]:
+        addrs = self._addrs_flat
+        out: list[int] = []
+        for ways in self._iter_sets():
+            out.extend(int(addrs[g]) for g in ways)
+        return out
+
+    def state_lines(self) -> list[list[tuple[int, bool, bool, bool, bool]]]:
+        addrs = self._addrs_flat
+        flags = self._flags_flat
+        return [
+            [
+                (
+                    int(addrs[g]),
+                    bool(flags[g] & _PREFETCH),
+                    bool(flags[g] & _OFF_PATH),
+                    bool(flags[g] & _UDP),
+                    bool(flags[g] & _DIRTY),
+                )
+                for g in ways
+            ]
+            for ways in self._iter_sets()
+        ]
+
+    def load_lines(self, sets: list[list[tuple[int, bool, bool, bool, bool]]]) -> None:
+        if len(sets) != self.num_sets:
+            raise ValueError("cache geometry mismatch")
+        self._addrs[:] = -1
+        self._flags[:] = 0
+        self._stamps[:] = 0
+        di = self._di
+        stamp = int(di[7])
+        occupancy = 0
+        for set_idx, lines in enumerate(sets):
+            base = set_idx * self.assoc
+            for way, (addr, pf, off_path, udp, dirty) in enumerate(lines):
+                gidx = base + way
+                self._addrs_flat[gidx] = addr
+                self._flags_flat[gidx] = (
+                    (_PREFETCH if pf else 0)
+                    | (_OFF_PATH if off_path else 0)
+                    | (_UDP if udp else 0)
+                    | (_DIRTY if dirty else 0)
+                )
+                stamp += 1
+                self._stamps[gidx] = stamp
+            occupancy += len(lines)
+        di[7] = stamp
+        di[8] = occupancy
+        di[9] = -1
+
+
+def make_cache(
+    config: CacheConfig, vector: bool | None = None, compiled: bool | None = None
+) -> SetAssocCache:
+    """Build the SoA cache unless ``REPRO_NO_VECTOR`` selects the oracle.
+
+    On top of vector mode, the compiled-kernel cache is selected when the
+    runtime-built extension is available and ``REPRO_NO_COMPILED`` does not
+    opt out (see :mod:`repro.common.cc`).
+    """
     if resolve_vector(vector):
+        from repro.common.cc import resolve_compiled
+
+        if resolve_compiled(compiled):
+            return SetAssocCacheC(config)
         return SetAssocCacheVec(config)
     return SetAssocCache(config)

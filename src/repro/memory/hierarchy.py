@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.common.addr import line_of
 from repro.common.config import MemoryConfig
 from repro.common.counters import Counters
+from repro.common.vector import resolve_vector
 from repro.memory.cache import make_cache
 from repro.memory.stream import StreamPrefetcher
 
@@ -30,12 +31,13 @@ class MemoryHierarchy:
         config: MemoryConfig,
         counters: Counters | None = None,
         vector: bool | None = None,
+        compiled: bool | None = None,
     ) -> None:
         self.config = config
         self.counters = counters if counters is not None else Counters()
-        self.l1d = make_cache(config.l1d, vector)
-        self.l2 = make_cache(config.l2, vector)
-        self.llc = make_cache(config.llc, vector)
+        self.l1d = make_cache(config.l1d, vector, compiled)
+        self.l2 = make_cache(config.l2, vector, compiled)
+        self.llc = make_cache(config.llc, vector, compiled)
         self.stream = StreamPrefetcher() if config.stream_prefetcher else None
         # Interned fast-path counter slots (see Counters.incrementer).
         counters = self.counters
@@ -119,3 +121,116 @@ class MemoryHierarchy:
             latency = self.config.dram_latency
         self.l1d.install(line_addr)
         return latency
+
+
+class MemoryHierarchyC(MemoryHierarchy):
+    """Fused compiled miss paths: one C call per load/store/ifetch miss.
+
+    ``hier_load`` / ``hier_store`` / ``hier_imiss`` walk L1D/L2/LLC, train
+    the stream prefetcher, and install fill lines entirely in C, leaving
+    per-call event counts in the descriptor; the wrappers replay those into
+    the interned counter slots, so totals are byte-identical to the
+    interpreted path.  When a counter *hook* is attached (tracers need every
+    individual bump event in order), each call transparently falls back to
+    the inherited per-probe methods — which operate on the same C-backed
+    caches, so the two paths interleave safely.
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        counters: Counters | None = None,
+        vector: bool | None = None,
+    ) -> None:
+        import numpy as np
+
+        from repro.common import cc
+        from repro.memory.cache import SetAssocCacheC
+        from repro.memory.stream import StreamPrefetcherC
+
+        super().__init__(config, counters, vector=vector, compiled=True)
+        kernels = cc.kernels()
+        if kernels is None or not isinstance(self.l1d, SetAssocCacheC):
+            raise RuntimeError("compiled kernels unavailable")
+        if self.stream is not None:
+            self.stream = StreamPrefetcherC()
+        hi = np.zeros(13, dtype=np.int64)
+        hi[0] = self.l1d._desc
+        hi[1] = self.l2._desc
+        hi[2] = self.llc._desc
+        hi[3] = self.stream._desc if self.stream is not None else 0
+        hi[4] = config.l1d.hit_latency
+        hi[5] = config.l2.hit_latency
+        hi[6] = config.llc.hit_latency
+        hi[7] = config.dram_latency
+        # hi[8..12]: n_l1d_hit, n_l2_data, n_llc_data, n_dram_data, n_stream_pf
+        self._hi = hi
+        self._hmv = memoryview(hi)
+        self._hdesc = int(hi.ctypes.data)
+        self._k_load = kernels.hier_load
+        self._k_store = kernels.hier_store
+        self._k_imiss = kernels.hier_imiss
+
+    def instruction_miss_latency(self, line_addr: int) -> tuple[int, str]:
+        if self.counters.hook is not None:
+            return super().instruction_miss_latency(line_addr)
+        packed = self._k_imiss(self._hdesc, line_addr)
+        latency = packed >> 2
+        level = packed & 3
+        if level == 0:
+            self._c_l2_ifetch_hits()
+            return latency, "l2"
+        if level == 1:
+            self._c_llc_ifetch_hits()
+            return latency, "llc"
+        self._c_dram_ifetch_fills()
+        return latency, "dram"
+
+    def load_latency(self, addr: int) -> int:
+        if self.counters.hook is not None:
+            return super().load_latency(addr)
+        latency = self._k_load(self._hdesc, addr)
+        hmv = self._hmv
+        self._c_l1d_accesses()
+        if hmv[8]:
+            self._c_l1d_hits()
+            return latency
+        self._c_l1d_misses()
+        self._replay_fill_counts(hmv)
+        return latency
+
+    def store_access(self, addr: int) -> None:
+        if self.counters.hook is not None:
+            return super().store_access(addr)
+        self._k_store(self._hdesc, addr)
+        self._c_l1d_stores()
+        if not self._hmv[8]:
+            self._replay_fill_counts(self._hmv)
+
+    def _replay_fill_counts(self, hmv) -> None:
+        n = hmv[9]
+        if n:
+            self._c_l2_data_hits(n)
+        n = hmv[10]
+        if n:
+            self._c_llc_data_hits(n)
+        n = hmv[11]
+        if n:
+            self._c_dram_data_fills(n)
+        n = hmv[12]
+        if n:
+            self._c_stream_prefetches(n)
+
+
+def make_hierarchy(
+    config: MemoryConfig,
+    counters: Counters | None = None,
+    vector: bool | None = None,
+    compiled: bool | None = None,
+) -> MemoryHierarchy:
+    """Build the hierarchy, selecting the compiled fused path when available."""
+    from repro.common.cc import resolve_compiled
+
+    if resolve_vector(vector) and resolve_compiled(compiled):
+        return MemoryHierarchyC(config, counters, vector=vector)
+    return MemoryHierarchy(config, counters, vector=vector, compiled=compiled)

@@ -71,3 +71,69 @@ class StreamPrefetcher:
     @property
     def active_streams(self) -> int:
         return len(self._streams)
+
+
+class StreamPrefetcherC(StreamPrefetcher):
+    """Compiled-kernel stream table: SoA arrays driven by ``stream_on_miss``.
+
+    Stream state lives in four preallocated int64 arrays described by
+    ``StreamDesc`` (see ``repro/common/kernels/kernels.h``); the same
+    descriptor is embedded in the hierarchy's fused ``hier_load`` kernel, so
+    a compiled load miss trains the prefetcher without re-entering Python.
+    Victim selection ports the interpreted first-minimum-LRU scan (including
+    the list compaction order) exactly.
+    """
+
+    def __init__(self, max_streams: int = 16, degree: int = 2, train_threshold: int = 2) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        if degree > 16:
+            # The fused hier_load kernel buffers prefetches on the stack.
+            raise ValueError("compiled stream prefetcher supports degree <= 16")
+        self.max_streams = max_streams
+        self.degree = degree
+        self.train_threshold = train_threshold
+        self._streams = None  # state lives in the SoA arrays; fail loudly
+        self._last_line = np.zeros(max_streams, dtype=np.int64)
+        self._direction = np.zeros(max_streams, dtype=np.int64)
+        self._confidence = np.zeros(max_streams, dtype=np.int64)
+        self._lru = np.zeros(max_streams, dtype=np.int64)
+        self._out = np.zeros(max(degree, 1), dtype=np.int64)
+        di = np.zeros(10, dtype=np.int64)
+        di[0] = self._last_line.ctypes.data
+        di[1] = self._direction.ctypes.data
+        di[2] = self._confidence.ctypes.data
+        di[3] = self._lru.ctypes.data
+        # di[4]=count, di[5]=stamp
+        di[6] = max_streams
+        di[7] = degree
+        di[8] = train_threshold
+        # di[9]=issued
+        self._di = di
+        self._desc = int(di.ctypes.data)
+        self._out_ptr = int(self._out.ctypes.data)
+        self._k_on_miss = kernels.stream_on_miss
+
+    def on_miss(self, line_addr: int) -> list[int]:
+        count = self._k_on_miss(self._desc, line_addr, self._out_ptr)
+        if count == 0:
+            return []
+        out = self._out
+        return [int(out[i]) for i in range(count)]
+
+    @property
+    def issued(self) -> int:
+        return int(self._di[9])
+
+    @issued.setter
+    def issued(self, value: int) -> None:
+        self._di[9] = value
+
+    @property
+    def active_streams(self) -> int:
+        return int(self._di[4])

@@ -58,7 +58,11 @@ _HOOK_ROOTS = (
 
 
 def build_simulator(
-    workload: str, config: SimConfig, seed: int = 1, vector: bool | None = None
+    workload: str,
+    config: SimConfig,
+    seed: int = 1,
+    vector: bool | None = None,
+    compiled: bool | None = None,
 ) -> Simulator:
     """Construct a Simulator for one suite workload, bypassing the engine.
 
@@ -74,7 +78,9 @@ def build_simulator(
             config.core, load_dependence_fraction=prof.load_dependence_fraction
         )
         config = config.replace(core=core)
-    return Simulator(program, config, data_profile=prof.data, vector=vector)
+    return Simulator(
+        program, config, data_profile=prof.data, vector=vector, compiled=compiled
+    )
 
 
 @dataclass
@@ -105,6 +111,13 @@ class ProfileReport:
     instructions: int
     seed: int
     fast_forward: bool
+    # Active acceleration gates for this run: vector SoA kernels, idle-cycle
+    # fast-forward, warmup checkpoint reuse, interval sampling, and the
+    # runtime-compiled C kernels (each togglable via its REPRO_NO_* env var).
+    gates: dict[str, bool]
+    # Per-kernel dispatch counts from the compiled extension (empty when the
+    # kernels are unavailable or gated off).
+    kernel_calls: dict[str, int]
     wall_seconds: float
     cycles: int
     retired_instructions: int
@@ -153,10 +166,18 @@ def profile_run(
     defers to the simulator's own setting so ``REPRO_NO_FASTFORWARD=1``
     still wins when the CLI flag is not given.
     """
+    from repro.common import cc
+    from repro.common.artifacts import reuse_disabled
+    from repro.sim.sampling import sampling_disabled
+
     simulator = build_simulator(workload, config, seed)
     if not fast_forward:
         simulator.fast_forward_enabled = False
     fast_forward = simulator.fast_forward_enabled
+
+    kernels = cc.kernels() if simulator.compiled_enabled else None
+    if kernels is not None:
+        kernels.reset_call_counts()
 
     profiler = cProfile.Profile()
     started = time.perf_counter()
@@ -164,6 +185,15 @@ def profile_run(
     simulator.run()
     profiler.disable()
     wall = time.perf_counter() - started
+
+    gates = {
+        "vector": simulator.vector_enabled,
+        "fast-forward": fast_forward,
+        "checkpoint": not reuse_disabled(),
+        "sampling": not sampling_disabled(),
+        "compiled": simulator.compiled_enabled,
+    }
+    kernel_calls = cc.kernel_call_counts() if kernels is not None else {}
 
     stats = pstats.Stats(profiler)
     # stats.stats maps (file, line, name) -> (calls, primitive, tot, cum, callers)
@@ -208,6 +238,8 @@ def profile_run(
         instructions=retired,
         seed=seed,
         fast_forward=fast_forward,
+        gates=gates,
+        kernel_calls=kernel_calls,
         wall_seconds=wall,
         cycles=simulator.cycle,
         retired_instructions=retired,
@@ -228,9 +260,14 @@ def profile_run(
 
 def format_report(report: ProfileReport) -> str:
     """Human-readable rendering of a :class:`ProfileReport`."""
+    gates = " ".join(
+        f"{name}={'on' if active else 'off'}"
+        for name, active in report.gates.items()
+    )
     lines = [
         f"profile: {report.workload} / {report.config_name} "
         f"(fast-forward {'on' if report.fast_forward else 'off'})",
+        f"  acceleration gates: {gates}",
         f"  retired {report.retired_instructions} instructions in "
         f"{report.cycles} cycles, {report.wall_seconds:.2f}s wall "
         f"({report.kips:.1f} KIPS)",
@@ -262,6 +299,18 @@ def format_report(report: ProfileReport) -> str:
                 f"    {hook.name:<13} {hook.seconds:8.3f}s  {share:5.1f}%"
                 f"  ({hook.calls} calls)"
             )
+    if report.kernel_calls:
+        lines.append("")
+        lines.append("  compiled-kernel dispatches (C calls, not in the "
+                     "Python stage times above):")
+        total_calls = sum(report.kernel_calls.values()) or 1
+        for name, calls in sorted(
+            report.kernel_calls.items(), key=lambda kv: -kv[1]
+        ):
+            if calls == 0:
+                continue
+            share = 100.0 * calls / total_calls
+            lines.append(f"    {name:<18} {calls:>10} calls  {share:5.1f}%")
     lines.append("")
     lines.append("  hottest functions (by self time):")
     lines.append(

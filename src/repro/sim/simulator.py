@@ -36,8 +36,9 @@ from repro.frontend.fdip import FDIPEngine
 from repro.frontend.fetch_block import RESTEER_AT_EXECUTE, FTQEntry, PendingResteer
 from repro.frontend.ftq import FetchTargetQueue
 from repro.common.vector import resolve_vector
+from repro.common.cc import resolve_compiled
 from repro.memory.cache import CacheLine, make_cache
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.hierarchy import make_hierarchy
 from repro.memory.mshr import MSHRFile
 from repro.prefetchers.base import FrontendHooks
 from repro.prefetchers.registry import get_technique
@@ -57,6 +58,7 @@ class Simulator:
         data_profile: DataProfile | None = None,
         rng_seed: int | None = None,
         vector: bool | None = None,
+        compiled: bool | None = None,
     ) -> None:
         config.validate()
         self.program = program
@@ -65,6 +67,11 @@ class Simulator:
         # counters either way (tests/sim/test_vector.py, REPRO_NO_VECTOR).
         self.vector_enabled = resolve_vector(vector)
         vec = self.vector_enabled
+        # Compiled C kernels over the SoA buffers; requires vector mode and a
+        # working compiler, degrades to the interpreted SoA path otherwise
+        # (tests/sim/test_vector.py, REPRO_NO_COMPILED).
+        self.compiled_enabled = vec and resolve_compiled(compiled)
+        comp = self.compiled_enabled
         # Stochastic measured-region components (data addresses, backend
         # latency draws) may use a seed decoupled from the synthesis seed —
         # interval sampling derives one per interval.  Functional state
@@ -75,7 +82,9 @@ class Simulator:
         self.cycle = 0
 
         self.oracle = OracleCursor(program)
-        self.bpu = BranchPredictionUnit(config.branch, self.counters, vector=vec)
+        self.bpu = BranchPredictionUnit(
+            config.branch, self.counters, vector=vec, compiled=comp
+        )
         self.ftq = FetchTargetQueue(
             config.frontend.ftq_depth, config.frontend.ftq_max_physical
         )
@@ -90,8 +99,10 @@ class Simulator:
             path_estimator=self.udp.path_estimator if self.udp is not None else None,
             vector=vec,
         )
-        self.hierarchy = MemoryHierarchy(config.memory, self.counters, vector=vec)
-        self.l1i = make_cache(config.memory.l1i, vec)
+        self.hierarchy = make_hierarchy(
+            config.memory, self.counters, vector=vec, compiled=comp
+        )
+        self.l1i = make_cache(config.memory.l1i, vec, comp)
         self.l1i.eviction_hook = self._on_l1i_eviction
         self.mshr = MSHRFile(config.memory.l1i.mshr_entries)
         # Technique construction is fully registry-driven: the capability
@@ -125,17 +136,31 @@ class Simulator:
             else None
         )
 
-        self.data_gen = DataAddressGenerator(
-            data_profile if data_profile is not None else DataProfile(), self.rng_seed
-        )
-        self.backend = BackendCore(
-            config.core,
-            self.hierarchy,
-            self.data_gen,
-            self.counters,
-            seed=self.rng_seed,
-            vector=vec,
-        )
+        profile = data_profile if data_profile is not None else DataProfile()
+        if comp:
+            from repro.backend.core import BackendCoreC
+            from repro.workloads.data import DataAddressGeneratorC
+
+            self.data_gen = DataAddressGeneratorC(
+                profile, self.rng_seed, program.code_end
+            )
+            self.backend = BackendCoreC(
+                config.core,
+                self.hierarchy,
+                self.data_gen,
+                self.counters,
+                seed=self.rng_seed,
+            )
+        else:
+            self.data_gen = DataAddressGenerator(profile, self.rng_seed)
+            self.backend = BackendCore(
+                config.core,
+                self.hierarchy,
+                self.data_gen,
+                self.counters,
+                seed=self.rng_seed,
+                vector=vec,
+            )
         if vec:
             self.backend.install_dep_table(program.code_end)
         if self.udp is not None:
@@ -407,6 +432,8 @@ class Simulator:
         """
         if self.fast_forward_enabled and self.counters.hook is None:
             self._try_fast_forward()
+            if self.compiled_enabled and self._try_refill_step():
+                return
         self.steps_executed += 1
         self.cycle += 1
         cycle = self.cycle
@@ -420,6 +447,43 @@ class Simulator:
         self.fdip.scan(cycle)
         self.frontend.generate()
         self.ftq.sample_occupancy()
+
+    def _try_refill_step(self) -> bool:
+        """Run a provable FTQ-refill cycle with only its live stages.
+
+        The complement of :meth:`_try_fast_forward`: when the FTQ still has
+        space the cycle cannot be skipped (the walker produces blocks), but
+        if the fetch head is waiting on an in-flight fill, no MSHR fill
+        completes, and the backend has no retire/issue/resteer work, then
+        fills/poll/retire/fetch are all no-ops apart from the fetch-stall
+        bookkeeping.  Executing just the live stages (FDIP scan, generation,
+        occupancy sampling) is cycle-exact — nothing is skipped, the cycle
+        advances by one — so counters stay byte-identical to the full step.
+        Only used in compiled mode, where the backend idle probe is a single
+        C call; guarded by the same hook check as fast-forward.
+        """
+        ftq = self.ftq
+        if not ftq.has_space:
+            return False
+        entry = ftq.head()
+        cycle = self.cycle + 1
+        if entry is None or entry.ready_cycle < 0 or entry.ready_cycle <= cycle:
+            return False
+        mshr_ready = self.mshr.next_ready_cycle()
+        if mshr_ready is not None and mshr_ready <= cycle:
+            return False
+        backend_event = self.backend.next_event_cycle(self.cycle)
+        if backend_event is not None and backend_event <= cycle:
+            return False
+        self.steps_executed += 1
+        self.cycle = cycle
+        # Exactly what _fetch_decode records for a head-not-ready stall.
+        self._c_slots_lost_icache(self._frontend_width)
+        self._c_stall_icache()
+        self.fdip.scan(cycle)
+        self.frontend.generate()
+        ftq.sample_occupancy()
+        return True
 
     def _try_fast_forward(self) -> None:
         """Jump ``cycle`` over a run of provably idle stall cycles.
@@ -552,6 +616,8 @@ class Simulator:
 
     def _dispatch_entry(self, entry: FTQEntry, cycle: int, budget: int) -> int:
         """Dispatch instructions from ``entry``; -1 signals a decode resteer."""
+        if self.compiled_enabled:
+            return self._dispatch_entry_compiled(entry, cycle, budget)
         backend = self.backend
         counters = self.counters
         ops = entry.ops
@@ -577,34 +643,96 @@ class Simulator:
                 continue
 
             self._c_dispatched()
-            branch = seen.branch
-            if not seen.detected:
-                self._decode_btb_fill(branch)
-            resteer = entry.resteer
-            if resteer is not None and resteer.branch_pc == pc:
-                if resteer.stage == RESTEER_AT_EXECUTE:
-                    backend.dispatch(pc, OP_BRANCH, on_path, cycle, resteer=resteer)
-                    continue
-                # Post-fetch correction: the undetected taken branch is
-                # discovered at decode; resteer immediately.
-                backend.dispatch(pc, OP_BRANCH, on_path, cycle)
-                self._resteer(resteer, squash_seq=None)
-                counters.bump("pfc_resteers")
-                return -1
-            backend.dispatch(pc, OP_BRANCH, on_path, cycle)
-            if (
-                not seen.detected
-                and not on_path
-                and branch.kind in (BranchKind.JUMP, BranchKind.CALL)
-                and self.config.frontend.post_fetch_correction
-            ):
-                # Wrong-path PFC: an undetected unconditional branch redirects
-                # the (still wrong-path) frontend to its static target.
-                self.ftq.flush()
-                self.frontend.redirect_wrong_path(branch.target)
-                self.fdip.reset_scan(self.frontend.next_seq)
+            result = self._dispatch_branch(entry, seen, pc, on_path, cycle)
+            if result < 0:
                 return -1
         return budget
+
+    def _dispatch_entry_compiled(self, entry: FTQEntry, cycle: int, budget: int) -> int:
+        """Compiled-mode dispatch: branch-free runs go through one C call.
+
+        Branch instructions (a small minority of dispatches) take the same
+        scalar path as the interpreted loop — their control flow (decode BTB
+        fills, post-fetch correction, resteer attachment) is shared via
+        :meth:`_dispatch_branch`.  With a tracer hook attached, every
+        instruction dispatches scalar so the per-event counter stream matches
+        the interpreted path exactly.
+        """
+        backend = self.backend
+        num_instrs = entry.num_instrs
+        branches = entry.branches
+        on_path_limit = entry.on_path_instrs if entry.on_path else 0
+        scalar = self.counters.hook is not None
+        while budget > 0 and entry.decode_offset < num_instrs:
+            offset = entry.decode_offset
+            pc = entry.start + offset * INSTR_BYTES
+            seen = entry.branch_at(pc) if branches else None
+            if seen is None and not scalar:
+                # Run length to the next branch (or entry/budget end).
+                limit = min(num_instrs, offset + budget)
+                run = limit - offset
+                if branches:
+                    for other in branches:
+                        boff = (other.branch.pc - entry.start) // INSTR_BYTES
+                        if offset < boff < limit and boff - offset < run:
+                            run = boff - offset
+                k = backend.dispatch_batch(
+                    entry.ops, entry.start, offset, run, cycle, on_path_limit
+                )
+                entry.decode_offset += k
+                budget -= k
+                if k:
+                    self._c_dispatched(k)
+                if k < run:
+                    self._c_dispatch_stall()
+                    return 0
+                continue
+            if not backend.can_dispatch:
+                self._c_dispatch_stall()
+                return 0
+            on_path = entry.on_path and offset < entry.on_path_instrs
+            entry.decode_offset += 1
+            budget -= 1
+            self._c_dispatched()
+            if seen is None:
+                backend.dispatch(pc, entry.ops[offset], on_path, cycle)
+                continue
+            result = self._dispatch_branch(entry, seen, pc, on_path, cycle)
+            if result < 0:
+                return -1
+        return budget
+
+    def _dispatch_branch(self, entry: FTQEntry, seen, pc: int, on_path: bool, cycle: int) -> int:
+        """Dispatch one branch instruction; -1 signals a decode resteer."""
+        backend = self.backend
+        branch = seen.branch
+        if not seen.detected:
+            self._decode_btb_fill(branch)
+        resteer = entry.resteer
+        if resteer is not None and resteer.branch_pc == pc:
+            if resteer.stage == RESTEER_AT_EXECUTE:
+                backend.dispatch(pc, OP_BRANCH, on_path, cycle, resteer=resteer)
+                return 0
+            # Post-fetch correction: the undetected taken branch is
+            # discovered at decode; resteer immediately.
+            backend.dispatch(pc, OP_BRANCH, on_path, cycle)
+            self._resteer(resteer, squash_seq=None)
+            self.counters.bump("pfc_resteers")
+            return -1
+        backend.dispatch(pc, OP_BRANCH, on_path, cycle)
+        if (
+            not seen.detected
+            and not on_path
+            and branch.kind in (BranchKind.JUMP, BranchKind.CALL)
+            and self.config.frontend.post_fetch_correction
+        ):
+            # Wrong-path PFC: an undetected unconditional branch redirects
+            # the (still wrong-path) frontend to its static target.
+            self.ftq.flush()
+            self.frontend.redirect_wrong_path(branch.target)
+            self.fdip.reset_scan(self.frontend.next_seq)
+            return -1
+        return 0
 
     def _decode_btb_fill(self, branch) -> None:
         """Decode-time branch discovery fills the BTB (direct kinds only)."""

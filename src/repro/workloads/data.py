@@ -66,3 +66,49 @@ class DataAddressGenerator:
     def reset(self) -> None:
         """Forget all occurrence counters (fresh run)."""
         self._occurrences.clear()
+
+
+class DataAddressGeneratorC(DataAddressGenerator):
+    """Compiled-kernel generator: occurrence counters in a flat int64 array.
+
+    The descriptor is embedded in the backend's dispatch kernel, so a
+    compiled dispatch computes load/store addresses without re-entering
+    Python.  Needs ``code_end`` up front to size the per-PC occurrence
+    array (the dict is keyed by pc; instruction pcs are 4-byte aligned, so
+    index ``pc >> 2`` is unique per instruction).  The class-probability
+    boundary ``stack_frac + stream_frac`` is pre-summed here with the same
+    IEEE addition the interpreted path performs per call.
+    """
+
+    def __init__(self, profile: DataProfile, seed: int, code_end: int) -> None:
+        import numpy as np
+
+        from repro.common import cc
+
+        kernels = cc.kernels()
+        if kernels is None:  # pragma: no cover - factory guards this
+            raise RuntimeError("compiled kernels unavailable")
+        super().__init__(profile, seed)
+        self._occurrences = None  # state lives in the array; fail loudly
+        n_pcs = max(code_end >> 2, 1)
+        self._occ_arr = np.zeros(n_pcs, dtype=np.int64)
+        di = np.zeros(7, dtype=np.int64)
+        di[0] = self._occ_arr.ctypes.data
+        di[1] = n_pcs
+        di.view(np.uint64)[2] = seed & 0xFFFF_FFFF_FFFF_FFFF
+        dv = di.view(np.float64)
+        dv[3] = profile.stack_frac
+        dv[4] = profile.stack_frac + profile.stream_frac
+        di[5] = profile.stride_bytes
+        di[6] = max(profile.data_footprint_bytes, 64)
+        self._di = di
+        self._desc = int(di.ctypes.data)
+        self._k_next = kernels.data_next
+
+    def next_address(self, pc: int) -> int:
+        """Generate the next data address for the instruction at ``pc``."""
+        return self._k_next(self._desc, pc)
+
+    def reset(self) -> None:
+        """Forget all occurrence counters (fresh run)."""
+        self._occ_arr[:] = 0

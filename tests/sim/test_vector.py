@@ -1,15 +1,17 @@
-"""SoA vector kernels: byte-identical equivalence with the object oracle.
+"""SoA vector + compiled kernels: byte-identity with the object oracle.
 
 Style of ``tests/sim/test_fastforward.py``: the array-oriented kernels
 (SoA TAGE/BTB/cache state, the planned fetch-window walker, the precomputed
-dep-flag table, issue-scan wake gating) must be pure wall-clock
-optimizations — for any (workload, preset) pair the final cycle count and
-every measured counter must match the object-based implementations exactly.
-The object path stays in the tree (``REPRO_NO_VECTOR`` / ``vector=False``)
-precisely so it can serve as the oracle.
+dep-flag table, issue-scan wake gating) and the runtime-compiled C kernels
+layered on top of them must be pure wall-clock optimizations — for any
+(workload, preset) pair the final cycle count and every measured counter
+must match the object-based implementations exactly.  The object path stays
+in the tree (``REPRO_NO_VECTOR`` / ``vector=False``) precisely so it can
+serve as the oracle, and the interpreted SoA path is in turn the oracle for
+the compiled path (``REPRO_NO_COMPILED`` / ``compiled=False``).
 
-Checkpoints must also be layout-neutral: a warmup blob captured in either
-mode must restore into either mode and still reproduce the from-scratch
+Checkpoints must also be layout-neutral: a warmup blob captured in any
+mode must restore into any mode and still reproduce the from-scratch
 counters (schema 2 serializes logical state, not object layout).
 """
 
@@ -25,10 +27,26 @@ from repro.workloads.profiles import get_profile
 N = 4_000
 SEED = 1
 
+# The three execution modes, least to most accelerated.  "compiled" silently
+# degrades to "vector" on a compiler-less host, which keeps these identity
+# tests meaningful everywhere (they become vector-vs-vector there).
+_MODES = {
+    "object": dict(vector=False, compiled=False),
+    "vector": dict(vector=True, compiled=False),
+    "compiled": dict(vector=True, compiled=True),
+}
+
 
 def _run(workload: str, preset: str, n: int, vector: bool):
     config = PRESET_BUILDERS[preset](n)
     simulator = build_simulator(workload, config, vector=vector)
+    simulator.run()
+    return simulator
+
+
+def _run_mode(workload: str, preset: str, n: int, mode: str):
+    config = PRESET_BUILDERS[preset](n)
+    simulator = build_simulator(workload, config, **_MODES[mode])
     simulator.run()
     return simulator
 
@@ -51,6 +69,22 @@ def test_vector_counters_identical_stress_workloads(workload):
     assert vec.measured_counters() == obj.measured_counters()
 
 
+@pytest.mark.parametrize("preset", sorted(PRESET_BUILDERS))
+def test_compiled_counters_identical(preset):
+    compiled = _run_mode("gcc", preset, N, "compiled")
+    vec = _run_mode("gcc", preset, N, "vector")
+    assert compiled.cycle == vec.cycle
+    assert compiled.measured_counters() == vec.measured_counters()
+
+
+@pytest.mark.parametrize("workload", ["verilator", "xgboost"])
+def test_compiled_counters_identical_stress_workloads(workload):
+    compiled = _run_mode(workload, "miss-heavy", N, "compiled")
+    vec = _run_mode(workload, "miss-heavy", N, "vector")
+    assert compiled.cycle == vec.cycle
+    assert compiled.measured_counters() == vec.measured_counters()
+
+
 def test_env_var_disables_vector(monkeypatch):
     monkeypatch.setenv("REPRO_NO_VECTOR", "1")
     config = PRESET_BUILDERS["baseline"](N)
@@ -65,10 +99,31 @@ def test_explicit_vector_flag_overrides_env(monkeypatch):
     assert simulator.vector_enabled
 
 
-@pytest.mark.parametrize("capture_vec", [True, False])
-@pytest.mark.parametrize("restore_vec", [True, False])
+def test_env_var_disables_compiled(monkeypatch):
+    # Unlike REPRO_NO_VECTOR, an explicit compiled=True does NOT override
+    # the env: compiled kernels may be unavailable for external reasons
+    # (no compiler), so graceful degradation is the contract throughout.
+    monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+    config = PRESET_BUILDERS["baseline"](N)
+    simulator = build_simulator("gcc", config)
+    assert not simulator.compiled_enabled
+    forced = build_simulator("gcc", config, compiled=True)
+    assert not forced.compiled_enabled
+
+
+def test_compiled_implies_vector():
+    # The compiled kernels operate on the SoA buffers, so a compiled
+    # simulator is necessarily a vector simulator.
+    config = PRESET_BUILDERS["baseline"](N)
+    simulator = build_simulator("gcc", config, vector=False, compiled=True)
+    assert not simulator.vector_enabled
+    assert not simulator.compiled_enabled
+
+
+@pytest.mark.parametrize("capture_mode", sorted(_MODES))
+@pytest.mark.parametrize("restore_mode", sorted(_MODES))
 def test_checkpoint_round_trips_across_modes(
-    tmp_path, monkeypatch, capture_vec, restore_vec
+    tmp_path, monkeypatch, capture_mode, restore_mode
 ):
     """A warmup blob is layout-neutral: any capture/restore mode combo must
     reproduce the from-scratch counters of the restoring mode."""
@@ -79,19 +134,19 @@ def test_checkpoint_round_trips_across_modes(
     program = program_store.program_for("gcc", SEED)
 
     donor = Simulator(
-        program, config, data_profile=prof.data, vector=capture_vec
+        program, config, data_profile=prof.data, **_MODES[capture_mode]
     )
     donor.functional_warmup(config.functional_warmup_blocks)
     blob = ckpt.capture_warmup(donor)
 
     restored = Simulator(
-        program, config, data_profile=prof.data, vector=restore_vec
+        program, config, data_profile=prof.data, **_MODES[restore_mode]
     )
     ckpt.restore_warmup(restored, blob)
     restored.run()
 
     scratch = Simulator(
-        program, config, data_profile=prof.data, vector=restore_vec
+        program, config, data_profile=prof.data, **_MODES[restore_mode]
     )
     scratch.functional_warmup(config.functional_warmup_blocks)
     scratch.run()
