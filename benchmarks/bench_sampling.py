@@ -16,11 +16,21 @@ three timings of the same region are taken with the result cache disabled:
   (the steady state of iterating on a technique at fixed region).
 
 Alongside the timings, each row reports the relative IPC error of the
-merged sampled result against the full run and the sample's own CI
-estimate.  Each covered preset is also gated through the equivalence
-oracle at a reduced region: one interval spanning the whole region with no
-detailed warmup must be byte-identical (counters) to the plain run —
-divergence aborts the benchmark.
+merged sampled result against the full run (with the default *warming*
+fast-forward, which replays the skipped loads/stores through the data
+hierarchy) and, for contrast, the error of a cold fast-forward
+(``warm_fastforward=False`` — the pre-warming behaviour, whose cold
+L1D/L2/LLC bias is what the warming mode exists to kill).  Each covered
+preset is also gated through the equivalence oracle at a reduced region:
+one interval spanning the whole region with no detailed warmup must be
+byte-identical (counters) to the plain run — divergence aborts the
+benchmark.
+
+Every row carries a blessed ``max_error`` bound on the warming-mode IPC
+error; ``--max-error M`` turns the bound into a hard gate (each row must
+satisfy ``ipc_rel_error <= max_error * M``, exit 1 otherwise).  CI runs a
+reduced-scale smoke with a loose multiplier; the committed full-scale
+results must hold at ``--max-error 1``.
 
 The committed results live in ``BENCH_sampling.json``; regenerate with::
 
@@ -29,9 +39,9 @@ The committed results live in ``BENCH_sampling.json``; regenerate with::
 ``--scale 0.05`` shrinks every region/interval proportionally for CI
 smoke runs.  Rows run serially (``--jobs 1``) so speedups measure the work
 actually avoided, not pool parallelism; interval shapes are tuned per
-workload — small-footprint workloads (mediawiki) tolerate much shorter
-detailed warmup than large-footprint ones (gcc/verilator), whose
-functional-warmup bias needs longer measured intervals to amortize.
+workload — with warming fast-forwards the main lever is the interval
+*count* (statistical width), so large regions take many short intervals
+rather than few long ones.
 """
 
 from __future__ import annotations
@@ -70,16 +80,23 @@ class Row:
     num_intervals: int
     interval_length: int
     detailed_warmup: int
+    # Blessed upper bound on the warming-mode relative IPC error; the
+    # --max-error gate enforces it (scaled by its multiplier).
+    max_error: float
 
 
 ROWS = (
-    # The headline row: meets the >=5x / <=2% acceptance gate.
-    Row("mediawiki", "baseline", 500_000, 10, 4_000, 3_000),
-    Row("gcc", "baseline", 500_000, 25, 2_000, 2_000),
-    Row("verilator", "baseline", 500_000, 25, 2_000, 1_000),
+    # Small-footprint reference row: stays under 1% error.  Warming
+    # fast-forwards carry most of the state-warming burden, so the
+    # detailed warmup can stay short without reopening the warmup bias.
+    Row("mediawiki", "baseline", 500_000, 10, 4_000, 1_500, 0.01),
+    Row("gcc", "baseline", 500_000, 25, 2_000, 1_000, 0.025),
+    # The headline row: 7.9% with cold fast-forwards before warming landed.
+    Row("verilator", "baseline", 500_000, 25, 1_000, 500, 0.02),
     # Stall-dominated regime: idle-cycle fast-forward already accelerates
-    # the full run, so sampling's win is smaller here by construction.
-    Row("verilator", "miss-heavy", 100_000, 10, 1_000, 500),
+    # the full run, so sampling's win is smaller here by construction, and
+    # per-interval IPC spread is wide (relative CI95 ~30%).
+    Row("verilator", "miss-heavy", 100_000, 10, 2_000, 1_000, 0.03),
 )
 
 
@@ -115,6 +132,7 @@ def _scaled(row: Row, scale: float) -> Row:
                                  int(row.instructions * scale) // 200)),
         interval_length=max(100, int(row.interval_length * scale)),
         detailed_warmup=max(50, int(row.detailed_warmup * scale)),
+        max_error=row.max_error,
     )
 
 
@@ -140,8 +158,13 @@ def bench_row(row: Row, seed: int, jobs: int) -> dict:
     sampled_config = config.with_sampling(
         row.num_intervals, row.interval_length, row.detailed_warmup
     )
+    coldff_config = config.with_sampling(
+        row.num_intervals, row.interval_length, row.detailed_warmup,
+        warm_fastforward=False,
+    )
     full_spec = spec_for(row.workload, config, seed, "full")
     sampled_spec = spec_for(row.workload, sampled_config, seed, "sampled")
+    coldff_spec = spec_for(row.workload, coldff_config, seed, "coldff")
 
     root = _fresh_store_root()
     try:
@@ -156,6 +179,9 @@ def bench_row(row: Row, seed: int, jobs: int) -> dict:
 
         _reset_process_state()  # warm disk, cold process: the honest case
         warm, t_warm, warm_stats = _timed(sampled_spec, jobs)
+
+        _reset_process_state()  # the bias A/B: same shape, no data replay
+        coldff, _, _ = _timed(coldff_spec, jobs)
     finally:
         shutil.rmtree(root, ignore_errors=True)
         os.environ.pop("REPRO_CACHE_DIR", None)
@@ -165,9 +191,10 @@ def bench_row(row: Row, seed: int, jobs: int) -> dict:
             f"{row.workload}/{row.preset}: warm sampled run diverged from "
             "cold — checkpoint-path bug"
         )
-    rel_error = (
-        abs(cold.ipc - full.ipc) / full.ipc if full.ipc else 0.0
-    )
+
+    def rel_error(result):
+        return abs(result.ipc - full.ipc) / full.ipc if full.ipc else 0.0
+
     detailed = row.num_intervals * (row.interval_length + row.detailed_warmup)
     return {
         "workload": row.workload,
@@ -181,7 +208,9 @@ def bench_row(row: Row, seed: int, jobs: int) -> dict:
         },
         "ipc_full": round(full.ipc, 4),
         "ipc_sampled": round(cold.ipc, 4),
-        "ipc_rel_error": round(rel_error, 4),
+        "ipc_rel_error": round(rel_error(cold), 4),
+        "ipc_rel_error_coldff": round(rel_error(coldff), 4),
+        "max_error": row.max_error,
         "ipc_relative_ci95": round(cold.sampling["ipc_relative_ci95"], 4),
         "full_seconds": round(t_full, 3),
         "sampled_cold_seconds": round(t_cold, 3),
@@ -203,6 +232,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="pool workers (default 1: isolate sampling gains)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink regions/intervals proportionally (CI smoke)")
+    parser.add_argument("--max-error", type=float, default=None, metavar="M",
+                        help="fail (exit 1) any row whose warming-mode IPC "
+                             "error exceeds its blessed max_error times M "
+                             "(use 1 at full scale, looser for scaled smokes)")
     parser.add_argument("-o", "--out", default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
@@ -219,14 +252,30 @@ def main(argv: list[str] | None = None) -> int:
               f"({result['speedup_cold']:.1f}x) | "
               f"warm {result['sampled_warm_seconds']:.2f}s "
               f"({result['speedup_warm']:.1f}x) | "
-              f"IPC err {result['ipc_rel_error']:.2%}")
+              f"IPC err {result['ipc_rel_error']:.2%} "
+              f"(cold-ff {result['ipc_rel_error_coldff']:.2%})")
 
     gate = [
         f"{r['workload']}/{r['preset']}"
         for r in rows
-        if r["speedup_warm"] >= 5.0 and r["ipc_rel_error"] <= 0.02
+        if r["speedup_warm"] >= 5.0 and r["ipc_rel_error"] <= r["max_error"]
     ]
-    print(f"\nrows meeting the >=5x / <=2% gate: {', '.join(gate) or 'none'}")
+    print(f"\nrows meeting the >=5x / per-row max_error gate: "
+          f"{', '.join(gate) or 'none'}")
+
+    violations = []
+    if args.max_error is not None:
+        for r in rows:
+            bound = r["max_error"] * args.max_error
+            if r["ipc_rel_error"] > bound:
+                violations.append(
+                    f"{r['workload']}/{r['preset']}: "
+                    f"{r['ipc_rel_error']:.2%} > {bound:.2%}"
+                )
+        if violations:
+            print("max-error gate FAILED:\n  " + "\n  ".join(violations))
+        else:
+            print(f"max-error gate passed (multiplier {args.max_error})")
 
     payload = {
         "benchmark": "sampling",
@@ -241,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out}")
-    return 0
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.sim import engine
 from repro.sim.presets import PRESET_BUILDERS, apply_sampling
-from repro.sim.runner import program_for, run_workload
+from repro.sim.runner import program_for
 from repro.workloads.profiles import SUITE
 from repro.workloads.tracefile import record_trace
 
@@ -92,15 +92,49 @@ def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
         help="detailed but unmeasured warmup instructions before each "
              "interval (default: half the interval length)",
     )
+    parser.add_argument(
+        "--sample-error", type=float, default=None, metavar="PCT",
+        help="adaptively escalate sampling (more intervals, then longer "
+             "detailed warmup) until each run's relative CI95 is at most "
+             "PCT percent; implies --sample "
+             f"{_DEFAULT_ADAPTIVE_INTERVALS} when --sample is not given",
+    )
+    parser.add_argument(
+        "--sample-cold-ff", action="store_true",
+        help="fast-forward with cold data-side state (pre-warming "
+             "behaviour) instead of replaying loads/stores through the "
+             "cache hierarchy; for warmup-bias A/B studies",
+    )
+
+
+# Starting interval count when --sample-error is given without --sample;
+# the adaptive loop doubles it as needed, so it only sets the floor.
+_DEFAULT_ADAPTIVE_INTERVALS = 10
 
 
 def _apply_sampling_args(config, args):
     """Overlay the ``--sample*`` flags onto a preset config."""
-    if not getattr(args, "sample", 0):
+    intervals = getattr(args, "sample", 0)
+    if not intervals and getattr(args, "sample_error", None) is not None:
+        intervals = _DEFAULT_ADAPTIVE_INTERVALS
+    if not intervals:
         return config
     return apply_sampling(
-        config, args.sample, args.sample_length, args.sample_warmup
+        config, intervals, args.sample_length, args.sample_warmup,
+        warm_fastforward=not getattr(args, "sample_cold_ff", False),
     )
+
+
+def _sample_error_fraction(args) -> float | None:
+    """The ``--sample-error`` percentage as the engine's fraction target."""
+    percent = getattr(args, "sample_error", None)
+    if percent is None:
+        return None
+    if not 0.0 < percent < 100.0:
+        raise SystemExit(
+            f"--sample-error must be a percentage in (0, 100), got {percent}"
+        )
+    return percent / 100.0
 
 
 def _sampling_summary(result) -> str | None:
@@ -108,7 +142,7 @@ def _sampling_summary(result) -> str | None:
     block = result.sampling
     if not block:
         return None
-    return (
+    line = (
         f"sampled: {block['num_intervals']} intervals x "
         f"{block['interval_length']} instructions "
         f"(+{block['detailed_warmup']} detailed warmup), "
@@ -116,6 +150,14 @@ def _sampling_summary(result) -> str | None:
         f"({block['ipc_relative_ci95']:.1%} rel. CI95), "
         f"{block['ff_instructions_total']} instructions fast-forwarded"
     )
+    adaptive = block.get("adaptive")
+    if adaptive:
+        verdict = "met" if adaptive["met"] else "NOT met"
+        line += (
+            f"; adaptive target {adaptive['target']:.1%} {verdict} "
+            f"after {adaptive['rounds']} round(s)"
+        )
+    return line
 
 
 # The stats object of the command in flight, so the top-level BatchError
@@ -260,7 +302,10 @@ def cmd_run(args) -> int:
     config = _apply_sampling_args(
         PRESET_BUILDERS[args.config](args.instructions), args
     )
-    result = run_workload(args.workload, config, args.config, seed=args.seed)
+    spec = engine.spec_for(args.workload, config, args.seed, args.config)
+    result = engine.run_batch(
+        [spec], sample_error=_sample_error_fraction(args)
+    )[0]
     if result is None:  # --on-failure keep-going and the single run failed
         print(f"{args.workload} / {args.config}: FAILED", file=sys.stderr)
         _print_engine_summary(stats)
@@ -316,7 +361,12 @@ def cmd_compare(args) -> int:
         for workload in workloads
         for config_name in configs
     ]
-    runs = dict(zip(((s.workload, s.label) for s in specs), engine.run_batch(specs)))
+    runs = dict(
+        zip(
+            ((s.workload, s.label) for s in specs),
+            engine.run_batch(specs, sample_error=_sample_error_fraction(args)),
+        )
+    )
     headers = ["workload"] + [f"{c} IPC" for c in configs]
     rows = []
     failed = 0

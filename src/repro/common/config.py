@@ -254,11 +254,35 @@ class SamplingConfig:
     configuration — one interval spanning the whole region with no detailed
     warmup — fast-forward zero instructions, so it is byte-identical to a
     plain run (the sampling-equivalence oracle in tests/sim/test_sampling.py).
+
+    ``warm_fastforward`` extends the functional fast-forward between
+    intervals to the data side as well: the oracle walk replays every
+    load/store through L1D/L2/LLC and the stream prefetcher (no cycle
+    accounting), so each interval resumes with live-point-style warm
+    microarchitectural state instead of the cold data caches that biased
+    large-footprint workloads (see docs/performance.md "Sampled
+    simulation").  It is on by default; disable it only to reproduce the
+    historical cold-cache estimator.
     """
 
     num_intervals: int = 0
     interval_length: int = 0
     detailed_warmup: int = 0
+    warm_fastforward: bool = True
+
+    def __post_init__(self) -> None:
+        # Field-local invariants are enforced at construction so an invalid
+        # shape can never reach plan_intervals (which would otherwise emit
+        # negative fast-forward distances).  The period bound needs
+        # max_instructions and lives in :meth:`validate`.
+        if self.num_intervals < 0:
+            raise ConfigError("num_intervals must be non-negative")
+        if not self.enabled:
+            return
+        if self.interval_length <= 0:
+            raise ConfigError("sampling interval_length must be positive")
+        if self.detailed_warmup < 0:
+            raise ConfigError("sampling detailed_warmup must be non-negative")
 
     @property
     def enabled(self) -> bool:
@@ -455,16 +479,27 @@ class SimConfig:
         )
 
     def with_sampling(
-        self, num_intervals: int, interval_length: int, detailed_warmup: int = 0
+        self,
+        num_intervals: int,
+        interval_length: int,
+        detailed_warmup: int = 0,
+        warm_fastforward: bool = True,
     ) -> "SimConfig":
-        """Return a copy with interval sampling enabled (0 intervals = off)."""
-        return self.replace(
-            sampling=SamplingConfig(
-                num_intervals=num_intervals,
-                interval_length=interval_length,
-                detailed_warmup=detailed_warmup,
-            )
+        """Return a copy with interval sampling enabled (0 intervals = off).
+
+        The shape is validated against this config's ``max_instructions``
+        immediately, so an interval that cannot fit its period fails here —
+        at construction, naming the offending knobs — rather than surfacing
+        as a negative fast-forward distance deep in the engine.
+        """
+        sampling = SamplingConfig(
+            num_intervals=num_intervals,
+            interval_length=interval_length,
+            detailed_warmup=detailed_warmup,
+            warm_fastforward=warm_fastforward,
         )
+        sampling.validate(self.max_instructions)
+        return self.replace(sampling=sampling)
 
     def without_sampling(self) -> "SimConfig":
         """Return the full-fidelity equivalent of this configuration."""

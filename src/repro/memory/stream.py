@@ -72,6 +72,39 @@ class StreamPrefetcher:
     def active_streams(self) -> int:
         return len(self._streams)
 
+    # -- layout-neutral serialization (warmup checkpoints, schema >= 3) ------
+
+    def state_dict(self) -> dict:
+        """Logical stream-table state, independent of physical layout.
+
+        Streams are listed in table order — victim selection scans for the
+        first LRU minimum and compacts the list, so ordering is part of the
+        state, exactly like cache set order in ``state_lines``.
+        """
+        return {
+            "streams": [
+                (s.last_line, s.direction, s.confidence, s.lru)
+                for s in self._streams
+            ],
+            "stamp": self._stamp,
+            "issued": self.issued,
+        }
+
+    def load_state(self, state: dict) -> None:
+        streams = state["streams"]
+        if len(streams) > self.max_streams:
+            raise ValueError(
+                f"checkpoint holds {len(streams)} streams, table fits "
+                f"{self.max_streams}"
+            )
+        self._streams = [
+            _Stream(last_line=last, direction=direction,
+                    confidence=confidence, lru=lru)
+            for last, direction, confidence, lru in streams
+        ]
+        self._stamp = state["stamp"]
+        self.issued = state["issued"]
+
 
 class StreamPrefetcherC(StreamPrefetcher):
     """Compiled-kernel stream table: SoA arrays driven by ``stream_on_miss``.
@@ -137,3 +170,39 @@ class StreamPrefetcherC(StreamPrefetcher):
     @property
     def active_streams(self) -> int:
         return int(self._di[4])
+
+    def state_dict(self) -> dict:
+        count = int(self._di[4])
+        return {
+            "streams": [
+                (
+                    int(self._last_line[i]),
+                    int(self._direction[i]),
+                    int(self._confidence[i]),
+                    int(self._lru[i]),
+                )
+                for i in range(count)
+            ],
+            "stamp": int(self._di[5]),
+            "issued": int(self._di[9]),
+        }
+
+    def load_state(self, state: dict) -> None:
+        streams = state["streams"]
+        if len(streams) > self.max_streams:
+            raise ValueError(
+                f"checkpoint holds {len(streams)} streams, table fits "
+                f"{self.max_streams}"
+            )
+        self._last_line[:] = 0
+        self._direction[:] = 0
+        self._confidence[:] = 0
+        self._lru[:] = 0
+        for i, (last, direction, confidence, lru) in enumerate(streams):
+            self._last_line[i] = last
+            self._direction[i] = direction
+            self._confidence[i] = confidence
+            self._lru[i] = lru
+        self._di[4] = len(streams)
+        self._di[5] = state["stamp"]
+        self._di[9] = state["issued"]

@@ -6,10 +6,12 @@ and for short measured regions that warmup dominates wall-clock.  This
 module makes warmup a cacheable artifact:
 
 * :func:`capture_warmup` serializes everything ``Simulator.functional_warmup``
-  mutates — the oracle walk position, the L1I/L1D/L2/LLC contents with their
-  LRU order, the BTB/iBTB/TAGE tables, the global history, the RAS, the UDP
-  useful-set (Bloom filters + coalescer), the counter values, and the
-  warmup baseline snapshot;
+  and a (possibly warming) ``fast_forward_to`` mutate — the oracle walk
+  position, the L1I/L1D/L2/LLC contents with their LRU order, the
+  BTB/iBTB/TAGE tables, the global history, the RAS, the stream data
+  prefetcher's table, the data-address generator's occurrence counters,
+  the UDP useful-set (Bloom filters + coalescer), the counter values, and
+  the warmup baseline snapshot;
 * :func:`restore_warmup` injects that state into a freshly constructed
   simulator, which then behaves byte-for-byte like one that ran the warmup
   itself (``tests/sim/test_checkpoint.py`` enforces equality of
@@ -30,13 +32,16 @@ Restoration rules worth knowing when extending the simulator:
 
 * **all** predictor and cache state is serialized layout-neutrally and
   restored in place (``state_dict``/``load_state`` on TAGE/BTB/iBTB,
-  ``state_lines``/``load_lines`` on the caches): a snapshot captured in
+  ``state_packed``/``load_packed`` on the caches): a snapshot captured in
   vector (SoA) mode restores into an object-mode simulator and vice versa,
   and no component object is ever swapped out from under the closures and
   hooks that alias it;
-* cache sets are per-set line tuples in LRU->MRU order, BTB/iBTB sets are
-  per-set entry tuples in LRU->MRU order — replacement order is part of the
-  state, the physical layout (dict of objects vs. ndarray ways) is not.
+* cache contents travel as packed per-set line arrays in LRU->MRU order
+  (counts/addresses/flags buffers — interval sampling serializes every
+  cache once per interval, so the wire form must pickle as a memcpy),
+  BTB/iBTB sets are per-set entry tuples in LRU->MRU order — replacement
+  order is part of the state, the physical layout (dict of objects vs.
+  ndarray ways) is not.
 
 ``REPRO_NO_CHECKPOINT=1`` opts out (the engine re-runs warmup from
 scratch); a corrupt or stale snapshot raises :class:`CheckpointError`,
@@ -85,7 +90,14 @@ __all__ = [
 # Schema 2: layout-neutral predictor/cache serialization (state_dict /
 # state_lines) replacing pickled component objects, so vector-mode (SoA) and
 # object-mode simulators share checkpoints interchangeably.
-CHECKPOINT_SCHEMA = 2
+# Schema 3: warming fast-forward state — the stream data prefetcher's table
+# and the data-address generator's per-PC occurrence counters join the
+# snapshot (both mutated by the data-side replay of
+# ``Simulator.fast_forward_to``), and the warm flag enters the interval key.
+# Cache contents and occurrence counters switch to packed array buffers
+# (``state_packed``/``occurrences_state``): sampled runs serialize them once
+# per interval, so the wire form must pickle as a memcpy.
+CHECKPOINT_SCHEMA = 3
 
 
 class CheckpointError(Exception):
@@ -144,10 +156,13 @@ def interval_checkpoint_key(
     The state after ``Simulator.fast_forward_to(warmup_end + ff_instructions)``
     is still purely functional (cycle 0), so it is captured and restored with
     the same machinery as warmup checkpoints.  Only the warmup-affecting
-    config subset and the fast-forward distance enter the key — measured-
-    region knobs (FTQ depth, prefetcher, interval length, the per-interval
-    RNG seed) are excluded, so e.g. an FTQ-depth sweep of sampled runs
-    shares one chain of interval checkpoints per (program, seed).
+    config subset, the fast-forward distance, and the warming flag enter the
+    key — measured-region knobs (FTQ depth, prefetcher, interval length, the
+    per-interval RNG seed) are excluded, so e.g. an FTQ-depth sweep of
+    sampled runs shares one chain of interval checkpoints per (program,
+    seed).  The warming flag must be keyed: a warm and a cold fast-forward
+    to the same position leave different data-side state (the warming
+    replay is the whole point), so they can never alias.
     """
     return canonical_key(
         {
@@ -157,6 +172,7 @@ def interval_checkpoint_key(
             "seed": seed,
             "warmup": warmup_config_subset(config),
             "interval_ff": ff_instructions,
+            "warm_ff": config.sampling.warm_fastforward,
         }
     )
 
@@ -208,11 +224,21 @@ def capture_warmup(sim: "Simulator") -> bytes:
             "underflows": bpu.ras.underflows,
         },
         "caches": {
-            "l1i": sim.l1i.state_lines(),
-            "l1d": sim.hierarchy.l1d.state_lines(),
-            "l2": sim.hierarchy.l2.state_lines(),
-            "llc": sim.hierarchy.llc.state_lines(),
+            "l1i": sim.l1i.state_packed(),
+            "l1d": sim.hierarchy.l1d.state_packed(),
+            "l2": sim.hierarchy.l2.state_packed(),
+            "llc": sim.hierarchy.llc.state_packed(),
         },
+        # Warming fast-forward state (schema 3): the data replay trains the
+        # stream prefetcher and advances the data generator's occurrence
+        # counters, so both must survive into resumed intervals for chained
+        # warm walks to equal one direct jump.
+        "stream": (
+            sim.hierarchy.stream.state_dict()
+            if sim.hierarchy.stream is not None
+            else None
+        ),
+        "warm_data": sim.data_gen.occurrences_state(),
         "useful_set": useful,
         "counters": dict(sim.counters._values),
         "warmup_baseline": sim._warmup_baseline,
@@ -267,10 +293,17 @@ def restore_warmup(sim: "Simulator", blob: bytes) -> None:
         bpu.ras.overflows = ras_state["overflows"]
         bpu.ras.underflows = ras_state["underflows"]
 
-        sim.l1i.load_lines(caches["l1i"])
-        sim.hierarchy.l1d.load_lines(caches["l1d"])
-        sim.hierarchy.l2.load_lines(caches["l2"])
-        sim.hierarchy.llc.load_lines(caches["llc"])
+        sim.l1i.load_packed(caches["l1i"])
+        sim.hierarchy.l1d.load_packed(caches["l1d"])
+        sim.hierarchy.l2.load_packed(caches["l2"])
+        sim.hierarchy.llc.load_packed(caches["llc"])
+
+        stream_state = state["stream"]
+        if (stream_state is None) != (sim.hierarchy.stream is None):
+            raise CheckpointError("stream prefetcher enablement mismatch")
+        if stream_state is not None:
+            sim.hierarchy.stream.load_state(stream_state)
+        sim.data_gen.load_occurrences_state(state["warm_data"])
 
         useful = state["useful_set"]
         if (useful is None) != (sim.udp is None):

@@ -747,7 +747,7 @@ def default_cache() -> ResultCache:
 
 
 def _cache_disabled_by_env() -> bool:
-    return os.environ.get(NO_CACHE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+    return env_truthy(NO_CACHE_ENV)
 
 
 # ---------------------------------------------------------------------------
@@ -915,8 +915,19 @@ def run_batch(
     retries: int | None = None,
     unit_timeout: float | None = None,
     on_failure: str | None = None,
+    sample_error: float | None = None,
 ) -> list[SimResult]:
     """Execute a batch of :class:`RunSpec` and return results in spec order.
+
+    ``sample_error`` turns on adaptive sampling: after the batch runs, any
+    sampled spec whose per-interval relative CI95
+    (``result.sampling["ipc_relative_ci95"]``) exceeds the target fraction
+    is escalated via :func:`repro.sim.sampling.escalate_sampling` (more
+    intervals first, then longer detailed warmup) and re-run, up to
+    ``_ADAPTIVE_MAX_ROUNDS`` rounds total; the final result replaces the
+    original at its spec index and carries a ``sampling["adaptive"]`` block
+    (``target``/``rounds``/``met``).  Full-fidelity specs (and every spec
+    under ``REPRO_NO_SAMPLING``) pass through untouched.
 
     Cache hits are resolved first (in spec order).  The remaining specs fan
     out over a process pool when more than one worker is available and more
@@ -945,6 +956,18 @@ def run_batch(
     partial results; ``"fail-fast"`` aborts immediately; ``"keep-going"``
     returns the partial result list with ``None`` at failed indices.
     """
+    if sample_error is not None:
+        return _run_batch_adaptive(
+            list(specs),
+            sample_error=sample_error,
+            jobs=jobs,
+            cache=cache,
+            no_cache=no_cache,
+            progress=progress,
+            retries=retries,
+            unit_timeout=unit_timeout,
+            on_failure=on_failure,
+        )
     spec_list = list(specs)
     if sampling.sampling_disabled():
         # REPRO_NO_SAMPLING: normalize sampled specs to full fidelity up
@@ -1191,6 +1214,81 @@ def run_batch(
         if policy != "keep-going":
             raise BatchError(failures, results, total)
     return results  # type: ignore[return-value]
+
+
+# Total rounds (initial run included) the adaptive driver will spend per
+# spec before settling for the best estimate it has.  Escalation doubles
+# the interval count each round, so 5 rounds spans a 16x range of K.
+_ADAPTIVE_MAX_ROUNDS = 5
+
+
+def _run_batch_adaptive(
+    spec_list: list[RunSpec],
+    *,
+    sample_error: float,
+    **batch_kwargs,
+) -> list[SimResult]:
+    """The ``run_batch(..., sample_error=...)`` error-targeting loop.
+
+    Runs the batch, then repeatedly re-runs (only) the sampled specs whose
+    relative CI95 still exceeds ``sample_error`` with an escalated sampling
+    shape.  Escalated re-runs go through the ordinary ``run_batch`` path,
+    so they share the result cache and checkpoint store with direct runs
+    of the same shapes.  Every surviving sampled result is annotated with
+    ``sampling["adaptive"]`` describing the loop's outcome for that spec;
+    the annotation is applied after caching, so cache entries stay
+    independent of the driver's target.
+    """
+    if not 0.0 < sample_error < 1.0:
+        raise ValueError(
+            f"sample_error must be a fraction in (0, 1), got {sample_error!r}"
+        )
+    results = run_batch(spec_list, **batch_kwargs)
+    if sampling.sampling_disabled():
+        return results
+
+    # index -> spec currently standing at that index (escalations replace it)
+    active = {
+        index: spec
+        for index, spec in enumerate(spec_list)
+        if spec.config.sampling.enabled
+    }
+    rounds = {index: 1 for index in active}
+    exhausted: set[int] = set()
+
+    for _ in range(_ADAPTIVE_MAX_ROUNDS - 1):
+        retry: dict[int, RunSpec] = {}
+        for index, spec in active.items():
+            result = results[index]
+            if result is None or result.sampling is None:
+                continue  # failed under keep-going, or normalized away
+            if result.sampling.get("ipc_relative_ci95", 0.0) <= sample_error:
+                continue
+            escalated = sampling.escalate_sampling(spec.config)
+            if escalated is None:
+                exhausted.add(index)
+                continue
+            retry[index] = dataclasses.replace(spec, config=escalated)
+        retry = {i: s for i, s in retry.items() if i not in exhausted}
+        if not retry:
+            break
+        order = sorted(retry)
+        retry_results = run_batch([retry[i] for i in order], **batch_kwargs)
+        for position, index in enumerate(order):
+            active[index] = retry[index]
+            results[index] = retry_results[position]
+            rounds[index] += 1
+
+    for index in active:
+        result = results[index]
+        if result is None or result.sampling is None:
+            continue
+        result.sampling["adaptive"] = {
+            "target": sample_error,
+            "rounds": rounds[index],
+            "met": result.sampling.get("ipc_relative_ci95", 0.0) <= sample_error,
+        }
+    return results
 
 
 def _run_pool(

@@ -32,9 +32,10 @@ to a plain full-fidelity run (the equivalence oracle enforced per preset by
 
 from __future__ import annotations
 
-import os
+import dataclasses
 from dataclasses import dataclass
 
+from repro.common.artifacts import env_truthy
 from repro.common.config import SimConfig
 from repro.common.rng import interval_seed
 from repro.common.stats import (
@@ -51,6 +52,7 @@ __all__ = [
     "NO_SAMPLING_ENV",
     "IntervalOutcome",
     "IntervalPlan",
+    "escalate_sampling",
     "merge_intervals",
     "plan_intervals",
     "sampling_disabled",
@@ -59,12 +61,7 @@ __all__ = [
 
 def sampling_disabled() -> bool:
     """True when ``REPRO_NO_SAMPLING`` forces full-fidelity simulation."""
-    return os.environ.get(NO_SAMPLING_ENV, "").strip().lower() in (
-        "1",
-        "true",
-        "yes",
-        "on",
-    )
+    return env_truthy(NO_SAMPLING_ENV)
 
 
 @dataclass(frozen=True)
@@ -73,9 +70,15 @@ class IntervalPlan:
 
     ``ff_instructions`` counts true-path instructions to skip past the end
     of the functional warmup (block-granular, see ``fast_forward_to``);
-    ``rng_seed`` drives the measured-region stochastic components and is
-    derived from ``(config.seed, index)`` so results are independent of
-    worker scheduling order.
+    ``rng_seed`` drives the measured-region stochastic components.  With
+    warm fast-forwards every interval carries ``rng_seed == config.seed``:
+    the warming replay consumes the simulator's own data generator, so the
+    measured region must draw from the same stream the replay advanced (and
+    chained interval checkpoints must share one address universe).  Cold
+    fast-forwards keep per-interval derived seeds
+    (``interval_seed(config.seed, index)``).  Either way the seed is a pure
+    function of ``(config, index)``, so results are independent of worker
+    scheduling order.
     """
 
     index: int
@@ -105,24 +108,77 @@ class IntervalOutcome:
 
 
 def plan_intervals(config: SimConfig) -> list[IntervalPlan]:
-    """The interval schedule of a sampled configuration, in index order."""
+    """The interval schedule of a sampled configuration, in index order.
+
+    The shape is validated against ``max_instructions`` first (raising
+    :class:`~repro.common.errors.ConfigError` naming the offending knobs),
+    so a plan can never carry a negative fast-forward distance.  Interval
+    end targets are ``((index + 1) * max_instructions) // num_intervals``,
+    which distributes a non-dividing remainder across the periods: every
+    plan satisfies ``ff_instructions >= 0``, end targets strictly increase,
+    and the last interval ends exactly at ``max_instructions`` (the
+    invariants pinned by tests/sim/test_sampling.py).
+    """
     s = config.sampling
     if not s.enabled:
         raise ValueError("plan_intervals requires sampling to be enabled")
-    period = s.period(config.max_instructions)
+    s.validate(config.max_instructions)
+    max_instructions = config.max_instructions
     plans = []
     for index in range(s.num_intervals):
-        ff = (index + 1) * period - s.interval_length - s.detailed_warmup
+        end = (index + 1) * max_instructions // s.num_intervals
+        ff = end - s.interval_length - s.detailed_warmup
         plans.append(
             IntervalPlan(
                 index=index,
                 ff_instructions=ff,
                 detailed_warmup=s.detailed_warmup,
                 measure_instructions=s.interval_length,
-                rng_seed=interval_seed(config.seed, index),
+                rng_seed=(
+                    config.seed
+                    if s.warm_fastforward
+                    else interval_seed(config.seed, index)
+                ),
             )
         )
     return plans
+
+
+def escalate_sampling(config: SimConfig) -> SimConfig | None:
+    """The next, stronger sampling shape for an error-targeted retry.
+
+    One escalation step for the adaptive driver
+    (``engine.run_batch(..., sample_error=...)``): doubling the interval
+    count halves nothing but tightens the CI roughly by ``1/sqrt(2)``, so
+    K grows first for as long as the doubled shape still fits its period;
+    once it no longer fits, the detailed warmup doubles instead (bounded
+    by the period), which attacks residual warmup bias rather than
+    statistical width.  Returns ``None`` when the shape cannot be
+    escalated further — the driver then reports the best estimate it has.
+    """
+    s = config.sampling
+    if not s.enabled:
+        return None
+    max_instructions = config.max_instructions
+    doubled_k = s.num_intervals * 2
+    if (
+        doubled_k <= max_instructions
+        and s.interval_length + s.detailed_warmup
+        <= max_instructions // doubled_k
+    ):
+        return config.replace(
+            sampling=dataclasses.replace(s, num_intervals=doubled_k)
+        )
+    period = s.period(max_instructions)
+    warmup = min(
+        max(s.detailed_warmup * 2, s.interval_length // 2, 1),
+        period - s.interval_length,
+    )
+    if warmup > s.detailed_warmup:
+        return config.replace(
+            sampling=dataclasses.replace(s, detailed_warmup=warmup)
+        )
+    return None
 
 
 def merge_intervals(

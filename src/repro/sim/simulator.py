@@ -20,11 +20,10 @@ stall the stream until the fill arrives.
 
 from __future__ import annotations
 
-import os
-
 from repro.backend.core import OP_BRANCH, BackendCore
 from repro.branch.unit import BranchPredictionUnit
 from repro.common.addr import INSTR_BYTES
+from repro.common.artifacts import env_truthy
 from repro.common.config import SimConfig
 from repro.common.counters import Counters
 from repro.common.errors import SimulationError
@@ -44,8 +43,10 @@ from repro.prefetchers.base import FrontendHooks
 from repro.prefetchers.registry import get_technique
 from repro.workloads.data import DataAddressGenerator
 from repro.workloads.profiles import DataProfile
-from repro.workloads.program import BranchKind, Program
+from repro.workloads.program import OP_LOAD, OP_STORE, BranchKind, Program
 from repro.workloads.trace import OracleCursor
+
+NO_FASTFORWARD_ENV = "REPRO_NO_FASTFORWARD"
 
 
 class Simulator:
@@ -74,9 +75,12 @@ class Simulator:
         comp = self.compiled_enabled
         # Stochastic measured-region components (data addresses, backend
         # latency draws) may use a seed decoupled from the synthesis seed —
-        # interval sampling derives one per interval.  Functional state
-        # (oracle walk, warmup training) never consumes this stream, so
-        # warmup checkpoints are shared across rng_seed values.
+        # cold-fast-forward sampling derives one per interval.  Functional
+        # warmup never consumes this stream, so warmup checkpoints are
+        # shared across rng_seed values; a *warming* fast-forward does
+        # (the data replay), which is why warm sampled intervals all run
+        # with the base seed (plan_intervals) and the warm flag enters the
+        # interval checkpoint key.
         self.rng_seed = rng_seed if rng_seed is not None else config.seed
         self.counters = Counters()
         self.cycle = 0
@@ -179,9 +183,7 @@ class Simulator:
         # Idle-cycle fast-forward (see docs/performance.md).  Counters are
         # byte-identical either way; REPRO_NO_FASTFORWARD keeps the naive
         # one-cycle-at-a-time stepper as the oracle for equivalence tests.
-        self.fast_forward_enabled = os.environ.get(
-            "REPRO_NO_FASTFORWARD", ""
-        ).strip().lower() not in ("1", "true", "yes", "on")
+        self.fast_forward_enabled = not env_truthy(NO_FASTFORWARD_ENV)
         self.ff_cycles_skipped = 0  # cycles advanced without a full step
         self.ff_jumps = 0  # number of fast-forward jumps taken
         self.steps_executed = 0  # full step() bodies run (perf smoke checks)
@@ -288,7 +290,9 @@ class Simulator:
             for size in (4, 2, 1)
         )
 
-    def fast_forward_to(self, target_walked: int) -> tuple[int, int]:
+    def fast_forward_to(
+        self, target_walked: int, warm: bool | None = None
+    ) -> tuple[int, int]:
         """Functionally advance the oracle to ``target_walked`` instructions.
 
         ``target_walked`` is an *absolute* position in true-path instructions
@@ -298,6 +302,19 @@ class Simulator:
         jump (interval checkpoints depend on this).  Training mirrors
         :meth:`functional_warmup`; afterwards the warmup baseline is
         re-snapshotted so the skipped span never leaks into measurement.
+
+        ``warm`` additionally replays the walked blocks' loads and stores
+        through ``self.data_gen`` into the data hierarchy (L1D/L2/LLC and
+        the stream prefetcher, no cycle accounting), killing the cold-cache
+        bias that sampled large-footprint workloads otherwise suffer.  The
+        replay consumes the *same* generator the measured region draws from
+        — warming with a decoupled stream would fill the caches with
+        addresses the interval never touches and leave its occurrence
+        counters cold — which is why sampled intervals share one
+        ``rng_seed`` when warming is on (see ``plan_intervals``).  It
+        defaults to the config's ``sampling.warm_fastforward``; every piece
+        of state it touches is checkpointed, so chained warm walks stay
+        byte-identical to one direct jump.
 
         Returns ``(blocks_walked, instructions_walked)`` for this call.
         Already being at or past the target is a strict no-op — the
@@ -309,12 +326,19 @@ class Simulator:
         oracle = self.oracle
         if self._warmed and oracle.instrs_walked >= target_walked:
             return (0, 0)
+        if warm is None:
+            warm = self.config.sampling.enabled and (
+                self.config.sampling.warm_fastforward
+            )
         start_blocks = oracle.blocks_walked
         start_instrs = oracle.instrs_walked
         bpu = self.bpu
         l1i = self.l1i
         hierarchy = self.hierarchy
         udp = self.udp
+        warm_gen = self.data_gen if warm else None
+        load_latency = hierarchy.load_latency
+        store_access = hierarchy.store_access
         while oracle.instrs_walked < target_walked:
             transition = oracle.transition()
             block = transition.block
@@ -324,6 +348,16 @@ class Simulator:
                 l1i.install(line_addr)
                 if udp is not None and not self._useful_set_holds(line_addr):
                     udp.useful_set.insert(line_addr)
+            if warm_gen is not None:
+                ops = block.ops
+                if ops:
+                    pc = block.addr
+                    for op in ops:
+                        if op == OP_LOAD:
+                            load_latency(warm_gen.next_address(pc))
+                        elif op == OP_STORE:
+                            store_access(warm_gen.next_address(pc))
+                        pc += INSTR_BYTES
             if transition.branch is not None:
                 self._train_functional_branch(transition)
             oracle.advance(transition)

@@ -8,6 +8,7 @@ seeds, checkpoint reuse, the ``REPRO_NO_SAMPLING`` escape hatch) must never
 change a merged result.
 """
 
+import dataclasses
 import json
 
 import pytest
@@ -90,8 +91,16 @@ def test_plan_intervals_anchors_measurement_at_period_end():
     assert [p.ff_instructions for p in plans] == [4_250, 9_250, 14_250, 19_250]
     assert all(p.measure_instructions == 500 for p in plans)
     assert all(p.detailed_warmup == 250 for p in plans)
-    assert plans[0].rng_seed == config.seed
-    assert len({p.rng_seed for p in plans}) == 4
+    # Warm fast-forwards (the default) share the base seed across intervals:
+    # the warming replay and the measured region consume one data stream.
+    assert {p.rng_seed for p in plans} == {config.seed}
+    cold = sampling.plan_intervals(
+        config.replace(
+            sampling=dataclasses.replace(config.sampling, warm_fastforward=False)
+        )
+    )
+    assert cold[0].rng_seed == config.seed
+    assert len({p.rng_seed for p in cold}) == 4  # decorrelated per interval
     with pytest.raises(ValueError):
         sampling.plan_intervals(baseline_config())
 
@@ -102,6 +111,84 @@ def test_degenerate_plan_fast_forwards_nothing():
     assert plan.ff_instructions == 0
     assert plan.measure_instructions == FAST.max_instructions
     assert plan.rng_seed == config.seed
+
+
+def test_sampling_config_rejected_at_construction():
+    # Invalid shapes cannot exist as values at all: __post_init__ raises,
+    # so a negative-ff plan can never be built from a constructed config.
+    with pytest.raises(ConfigError):
+        SamplingConfig(num_intervals=-1)
+    with pytest.raises(ConfigError):
+        SamplingConfig(num_intervals=2)  # enabled with zero interval_length
+    with pytest.raises(ConfigError):
+        SamplingConfig(2, 100, -5)
+    SamplingConfig()  # the disabled default stays constructible
+
+
+def test_with_sampling_rejects_shapes_exceeding_the_period():
+    # interval_length + detailed_warmup > period used to flow through to
+    # plan_intervals and emit negative fast-forward distances; both
+    # with_sampling and plan_intervals now refuse, naming the knobs.
+    with pytest.raises(ConfigError, match="interval_length"):
+        FAST.with_sampling(4, 400, 200)  # period 500 < 400 + 200
+    unvalidated = FAST.replace(sampling=SamplingConfig(4, 400, 200))
+    with pytest.raises(ConfigError, match="detailed_warmup"):
+        sampling.plan_intervals(unvalidated)
+
+
+def test_plan_intervals_distributes_non_dividing_remainders():
+    config = baseline_config(max_instructions=10_000).with_sampling(3, 100, 50)
+    plans = sampling.plan_intervals(config)
+    # End targets 3333/6666/10000: the remainder spreads across periods and
+    # the last interval still ends exactly at max_instructions.
+    assert [p.ff_instructions for p in plans] == [3_183, 6_516, 9_850]
+
+
+@pytest.mark.parametrize(
+    "max_instructions,k,length,warmup",
+    [
+        (10_000, 3, 100, 50),
+        (10_000, 7, 33, 0),
+        (20_000, 4, 500, 250),
+        (99_999, 13, 777, 111),
+        (2_000, 1, 2_000, 0),
+        (17, 5, 1, 1),
+        (101, 100, 1, 0),
+    ],
+)
+def test_plan_invariants_hold_across_shapes(max_instructions, k, length, warmup):
+    # The planning invariants: non-negative fast-forwards, strictly
+    # increasing interval ends, and full coverage of the measured region.
+    config = baseline_config(max_instructions=max_instructions).with_sampling(
+        k, length, warmup
+    )
+    plans = sampling.plan_intervals(config)
+    assert len(plans) == k
+    assert all(p.ff_instructions >= 0 for p in plans)
+    ends = [p.ff_instructions + warmup + length for p in plans]
+    assert all(a < b for a, b in zip(ends, ends[1:]))  # strictly increasing
+    assert ends[-1] == max_instructions
+
+
+def test_escalate_sampling_grows_intervals_then_warmup():
+    config = baseline_config(max_instructions=20_000).with_sampling(4, 500, 250)
+    doubled = sampling.escalate_sampling(config)
+    assert doubled.sampling.num_intervals == 8
+    assert doubled.sampling.detailed_warmup == 250
+    # The ladder stays valid at every rung and terminates: once doubling no
+    # longer fits the period, the detailed warmup grows instead, and when
+    # neither can move the escalation reports exhaustion with None.
+    seen = []
+    while config is not None and len(seen) < 50:
+        sampling.plan_intervals(config)  # validates each rung
+        seen.append((config.sampling.num_intervals, config.sampling.detailed_warmup))
+        config = sampling.escalate_sampling(config)
+    assert config is None, "escalation never exhausted"
+    ks = [k for k, _ in seen]
+    warmups = [w for _, w in seen]
+    assert ks[-1] > 4 and warmups[-1] > 250  # both axes eventually moved
+    assert all(a <= b for a, b in zip(ks, ks[1:]))  # K never shrinks
+    assert sampling.escalate_sampling(FAST) is None  # not sampled: no rung
 
 
 def test_apply_sampling_defaults():
@@ -119,6 +206,31 @@ def test_apply_sampling_defaults():
 def test_merge_intervals_requires_outcomes():
     with pytest.raises(ValueError):
         sampling.merge_intervals("w", "l", FAST.with_sampling(1, 100), [])
+
+
+def test_merge_intervals_zero_cycles_never_divides():
+    # Pathological intervals that retired nothing (zero cycles, zero IPC)
+    # must merge without a ZeroDivisionError anywhere: per-interval IPC,
+    # the occupancy weighting, and the relative CI all have zero guards.
+    outcomes = [
+        sampling.IntervalOutcome(
+            index=i,
+            counters={"cycles": 0, "retired_instructions": 0},
+            avg_ftq_occupancy=float(i),
+            final_ftq_depth=0,
+            ff_blocks=0,
+            ff_instructions_walked=0,
+        )
+        for i in range(2)
+    ]
+    merged = sampling.merge_intervals(
+        "w", "l", FAST.with_sampling(2, 100), outcomes
+    )
+    assert merged.ipc == 0.0
+    assert merged.sampling["interval_ipc"] == [0.0, 0.0]
+    assert merged.sampling["ipc_relative_ci95"] == 0.0
+    # Zero total cycles falls back to the unweighted occupancy mean.
+    assert merged.avg_ftq_occupancy == pytest.approx(0.5)
 
 
 # ---------------------------------------------------------------------------
@@ -254,14 +366,155 @@ def test_sampled_result_serialization_round_trip():
     assert clone.sampling == result.sampling
 
 
+# ---------------------------------------------------------------------------
+# Warm fast-forward: the data-side replay
+# ---------------------------------------------------------------------------
+
+
+def _warm_sim(config, warm: bool, distance: int = 1_000):
+    # ``fast_forward_to`` takes an absolute true-path position, so the
+    # distance is offset past wherever functional warmup stopped walking.
+    from repro.sim.profile import build_simulator
+
+    sim = build_simulator("mediawiki", config, seed=1)
+    sim.functional_warmup(config.functional_warmup_blocks)
+    sim.fast_forward_to(sim.oracle.instrs_walked + distance, warm=warm)
+    return sim
+
+
+def test_warm_fastforward_fills_the_data_side():
+    sampled = FAST.with_sampling(4, 200, 100)
+    cold = _warm_sim(sampled, warm=False)
+    warm = _warm_sim(sampled, warm=True)
+    # Cold walks leave the data caches exactly as functional warmup did
+    # (instruction lines only); warming replays the walked loads/stores.
+    assert not cold.data_gen.occurrences_dict()
+    assert warm.data_gen.occurrences_dict()
+    lines = lambda sim: sum(len(s) for s in sim.hierarchy.l1d.state_lines())
+    assert lines(cold) == 0
+    assert lines(warm) > 0
+    # The warming replay never consumes cycles or measured counters.
+    assert warm.cycle == 0 and cold.cycle == 0
+
+
+def test_warm_fastforward_defaults_from_sampling_config():
+    warm_default = _warm_sim(FAST.with_sampling(4, 200, 100), warm=None)
+    assert warm_default.data_gen.occurrences_dict()
+    cold_config = FAST.replace(
+        sampling=dataclasses.replace(
+            FAST.with_sampling(4, 200, 100).sampling, warm_fastforward=False
+        )
+    )
+    cold_default = _warm_sim(cold_config, warm=None)
+    assert not cold_default.data_gen.occurrences_dict()
+
+
+def test_chained_warm_fastforward_equals_direct_jump():
+    # Interval checkpoints chain fast-forwards; every piece of
+    # warming-mutated state must therefore be position-deterministic.
+    sampled = FAST.with_sampling(4, 200, 100)
+    chained = _warm_sim(sampled, warm=True)
+    target = chained.oracle.instrs_walked + 600
+    chained.fast_forward_to(target, warm=True)
+    from repro.sim.profile import build_simulator
+
+    direct = build_simulator("mediawiki", sampled, seed=1)
+    direct.functional_warmup(sampled.functional_warmup_blocks)
+    direct.fast_forward_to(target, warm=True)
+    assert ckpt.capture_warmup(chained) == ckpt.capture_warmup(direct)
+
+
+def test_cold_fastforward_config_still_runs_and_differs():
+    warm_spec = _sampled_spec(label="warmff")
+    cold_config = FAST.replace(
+        sampling=dataclasses.replace(
+            warm_spec.config.sampling, warm_fastforward=False
+        )
+    )
+    cold_spec = spec_for("mediawiki", cold_config, 1, "coldff")
+    warm = run_batch([warm_spec], jobs=1, no_cache=True)[0]
+    cold = run_batch([cold_spec], jobs=1, no_cache=True)[0]
+    # Both merge cleanly; the data replay makes the merged counters differ.
+    assert warm.sampling["num_intervals"] == cold.sampling["num_intervals"] == 4
+    assert warm.counters != cold.counters
+    # Serial and pooled stay identical in cold mode too.
+    pooled_cold = run_batch([cold_spec], jobs=2, no_cache=True)[0]
+    assert _identical(cold, pooled_cold)
+
+
+# ---------------------------------------------------------------------------
+# Adaptive sampling: run_batch(..., sample_error=...)
+# ---------------------------------------------------------------------------
+
+
+def test_adaptive_annotates_met_target():
+    result = run_batch(
+        [_sampled_spec(label="adaptive")], jobs=1, no_cache=True,
+        sample_error=0.99,
+    )[0]
+    assert result.sampling["adaptive"] == {
+        "target": 0.99, "rounds": 1, "met": True,
+    }
+
+
+def test_adaptive_escalates_until_exhaustion_on_impossible_target():
+    # FAST's shape (2000 instructions, K=4 x 200+100) cannot double K, so
+    # escalation grows the detailed warmup to its period bound and stops.
+    result = run_batch(
+        [_sampled_spec(label="tight")], jobs=1, no_cache=True,
+        sample_error=1e-9,
+    )[0]
+    adaptive = result.sampling["adaptive"]
+    assert adaptive["rounds"] > 1
+    assert not adaptive["met"]
+    assert result.sampling["detailed_warmup"] > 100
+
+
+def test_adaptive_ignores_plain_specs_and_rejects_bad_targets():
+    plain = run_batch(
+        [spec_for("mediawiki", FAST, 1, "plain")], jobs=1, no_cache=True,
+        sample_error=0.5,
+    )[0]
+    assert plain.sampling is None
+    for bad in (0.0, 1.0, -0.1, 2.0):
+        with pytest.raises(ValueError, match="sample_error"):
+            run_batch([], sample_error=bad)
+
+
+def test_adaptive_respects_no_sampling_env(monkeypatch):
+    monkeypatch.setenv(sampling.NO_SAMPLING_ENV, "1")
+    result = run_batch(
+        [_sampled_spec()], jobs=1, no_cache=True, sample_error=0.5
+    )[0]
+    assert result.sampling is None  # normalized to full fidelity, no loop
+
+
+def test_boolean_env_gates_share_one_parser(monkeypatch):
+    # The opt-out gates all route through artifacts.env_truthy, so the
+    # spelled-out truthy values ("YES", "on", "True") behave identically
+    # everywhere instead of only "1" being honoured by some of them.
+    from repro.sim.profile import build_simulator
+    from repro.sim.simulator import NO_FASTFORWARD_ENV
+
+    for value in ("YES", "on", "True"):
+        monkeypatch.setenv(sampling.NO_SAMPLING_ENV, value)
+        monkeypatch.setenv(engine.NO_CACHE_ENV, value)
+        assert sampling.sampling_disabled()
+        assert engine._cache_disabled_by_env()
+    monkeypatch.setenv(NO_FASTFORWARD_ENV, "yes")
+    assert not build_simulator("mediawiki", FAST, seed=1).fast_forward_enabled
+    monkeypatch.setenv(NO_FASTFORWARD_ENV, "0")  # falsy spelling
+    assert build_simulator("mediawiki", FAST, seed=1).fast_forward_enabled
+
+
 @pytest.mark.slow
 def test_sampling_error_is_small_at_benchmark_scale():
-    # benchmarks/bench_sampling.py's headline row, as an executable accuracy
-    # gate.  Reduced regions are useless here: short intervals alias against
-    # program phases and the measured error swings 1-13% with tiny shape
-    # changes, so this runs the real 500k-instruction shape.  Deselected
-    # from tier-1 by the "not slow" default marker expression (run with:
-    # pytest -m slow tests/sim/test_sampling.py).
+    # benchmarks/bench_sampling.py's small-footprint row, as an executable
+    # accuracy gate.  Reduced regions are useless here: short intervals
+    # alias against program phases and the measured error swings 1-13% with
+    # tiny shape changes, so this runs the real 500k-instruction shape.
+    # Deselected from tier-1 by the "not slow" default marker expression
+    # (run with: pytest -m slow tests/sim/test_sampling.py).
     from repro.analysis.stats import ipc_sampling_error
 
     config = baseline_config(max_instructions=500_000)
@@ -272,7 +525,35 @@ def test_sampling_error_is_small_at_benchmark_scale():
         [
             spec_for(
                 "mediawiki",
-                config.with_sampling(10, 4_000, 3_000),
+                config.with_sampling(10, 4_000, 1_500),
+                1,
+                "sampled",
+            )
+        ],
+        jobs=1,
+        no_cache=True,
+    )[0]
+    assert ipc_sampling_error(sampled, plain) < 0.01
+    assert sampled.sampling["num_intervals"] == 10
+
+
+@pytest.mark.slow
+def test_warm_fastforward_fixes_large_footprint_error_at_benchmark_scale():
+    # The headline row of the warming change: verilator's working set blows
+    # through L1/L2, and before warm fast-forwards its sampled IPC was off
+    # by ~8% (BENCH_sampling.json history).  With the data-side replay the
+    # same region samples to within 2%.
+    from repro.analysis.stats import ipc_sampling_error
+
+    config = baseline_config(max_instructions=500_000)
+    plain = run_batch(
+        [spec_for("verilator", config, 1, "full")], jobs=1, no_cache=True
+    )[0]
+    sampled = run_batch(
+        [
+            spec_for(
+                "verilator",
+                config.with_sampling(25, 1_000, 500),
                 1,
                 "sampled",
             )
@@ -281,7 +562,6 @@ def test_sampling_error_is_small_at_benchmark_scale():
         no_cache=True,
     )[0]
     assert ipc_sampling_error(sampled, plain) < 0.02
-    assert sampled.sampling["num_intervals"] == 10
 
 
 def test_sampled_results_cached_separately_from_plain(tmp_path, monkeypatch):

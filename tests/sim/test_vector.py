@@ -153,3 +153,60 @@ def test_checkpoint_round_trips_across_modes(
 
     assert restored.cycle == scratch.cycle
     assert restored.measured_counters() == scratch.measured_counters()
+
+
+@pytest.mark.parametrize("capture_mode", sorted(_MODES))
+@pytest.mark.parametrize("restore_mode", sorted(_MODES))
+def test_warm_fastforward_checkpoints_cross_modes(
+    tmp_path, monkeypatch, capture_mode, restore_mode
+):
+    """Schema-3 state — the data caches filled by the warming replay, the
+    stream prefetcher table, and the data generator's occurrence counters —
+    survives any capture/restore mode combo just like warmup state does."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_CHECKPOINT", raising=False)
+    config = PRESET_BUILDERS["udp"](N, SEED).with_sampling(4, 500, 250)
+    prof = get_profile("gcc")
+    program = program_store.program_for("gcc", SEED)
+
+    def fresh(mode):
+        return Simulator(
+            program, config, data_profile=prof.data, **_MODES[mode]
+        )
+
+    donor = fresh(capture_mode)
+    donor.functional_warmup(config.functional_warmup_blocks)
+    target = donor.oracle.instrs_walked + 600
+    donor.fast_forward_to(target, warm=True)
+    assert donor.data_gen.occurrences_dict()
+    blob = ckpt.capture_warmup(donor)
+
+    restored = fresh(restore_mode)
+    ckpt.restore_warmup(restored, blob)
+
+    scratch = fresh(restore_mode)
+    scratch.functional_warmup(config.functional_warmup_blocks)
+    scratch.fast_forward_to(target, warm=True)
+
+    # The warming-mutated state restores layout-neutrally...
+    assert (
+        restored.data_gen.occurrences_dict()
+        == scratch.data_gen.occurrences_dict()
+    )
+    assert (
+        restored.hierarchy.l1d.state_lines()
+        == scratch.hierarchy.l1d.state_lines()
+    )
+    assert (restored.hierarchy.stream is None) == (
+        scratch.hierarchy.stream is None
+    )
+    if restored.hierarchy.stream is not None:
+        assert (
+            restored.hierarchy.stream.state_dict()
+            == scratch.hierarchy.stream.state_dict()
+        )
+    # ...and the measured region proceeds byte-identically.
+    restored.run()
+    scratch.run()
+    assert restored.cycle == scratch.cycle
+    assert restored.measured_counters() == scratch.measured_counters()
